@@ -1,0 +1,217 @@
+// Package boreas is the public API of the Boreas reproduction: a machine
+// learning driven DVFS controller that predicts Hotspot-Severity from
+// hardware telemetry (one delayed thermal sensor reading plus
+// micro-architectural performance counters) and picks the highest safe
+// frequency every ~1 ms, as published in "Boreas: A Cost-Effective
+// Mitigation Method for Advanced Hotspots using Machine Learning and
+// Hardware Telemetry" (ISPASS 2023).
+//
+// The package re-exports the curated surface of the internal packages:
+//
+//   - The HotGauge-style simulation pipeline (performance, power and
+//     thermal models of a Skylake-class 7 nm core) that generates
+//     telemetry and ground-truth severity: NewPipeline.
+//   - Dataset construction from static sweeps and frequency walks:
+//     BuildDataset, BuildWalkDataset.
+//   - The gradient-boosted-tree severity predictor and its guardbanded
+//     controller (the paper's contribution): TrainPredictor, NewMLController.
+//   - The baselines it is evaluated against: thermal-threshold
+//     controllers, the oracle, and the global VF limit.
+//   - The closed-loop evaluation harness: RunLoop.
+//   - The per-table/figure experiment generators: NewLab and the
+//     experiment functions in internal/experiments.
+//
+// A minimal end-to-end use looks like:
+//
+//	ds, _ := boreas.BuildDataset(boreas.DefaultBuildConfig(boreas.TrainWorkloads(), boreas.Frequencies()))
+//	pred, _ := boreas.TrainPredictor(ds, boreas.DefaultTrainConfig())
+//	ctrl, _ := boreas.NewMLController(pred, 0.05) // ML05
+//	pipe, _ := boreas.NewPipeline(boreas.DefaultSimConfig())
+//	w, _ := boreas.WorkloadByName("bzip2")
+//	res, _ := boreas.RunLoop(pipe, w, ctrl, boreas.DefaultLoopConfig())
+package boreas
+
+import (
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/core"
+	"github.com/hotgauge/boreas/internal/experiments"
+	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/telemetry"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// Simulation pipeline (the HotGauge-equivalent substrate).
+type (
+	// SimConfig assembles the performance/power/thermal pipeline.
+	SimConfig = sim.Config
+	// Pipeline is one instantiated simulation.
+	Pipeline = sim.Pipeline
+	// StepResult is one 80 us timestep's telemetry and ground truth.
+	StepResult = sim.StepResult
+	// SeverityParams calibrates the Hotspot-Severity metric.
+	SeverityParams = hotspot.SeverityParams
+)
+
+// DefaultSimConfig returns the standard experiment pipeline configuration.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// NewPipeline builds a simulation pipeline.
+func NewPipeline(cfg SimConfig) (*Pipeline, error) { return sim.New(cfg) }
+
+// DefaultSeverityParams returns the HotGauge-calibrated severity metric.
+func DefaultSeverityParams() SeverityParams { return hotspot.DefaultSeverityParams() }
+
+// DefaultSensorIndex is the paper's preferred sensor (tsens03, EX stage).
+const DefaultSensorIndex = sim.DefaultSensorIndex
+
+// Workloads.
+type (
+	// Workload is a synthetic SPEC CPU2006 behavioural model.
+	Workload = workload.Workload
+)
+
+// Workloads returns the full 27-benchmark catalogue.
+func Workloads() []*Workload { return workload.Catalog() }
+
+// WorkloadByName looks up one benchmark.
+func WorkloadByName(name string) (*Workload, error) { return workload.ByName(name) }
+
+// TrainWorkloads returns the Table III training-set names.
+func TrainWorkloads() []string { return append([]string(nil), workload.TrainNames...) }
+
+// TestWorkloads returns the Table III test-set names.
+func TestWorkloads() []string { return append([]string(nil), workload.TestNames...) }
+
+// Frequencies returns the 13 DVFS operating points (2.0-5.0 GHz).
+func Frequencies() []float64 { return power.FrequencySteps() }
+
+// VoltageFor returns the Table I supply voltage for a frequency.
+func VoltageFor(fGHz float64) float64 { return power.VoltageFor(fGHz) }
+
+// Telemetry and datasets.
+type (
+	// Dataset is a labelled telemetry feature matrix.
+	Dataset = telemetry.Dataset
+	// BuildConfig describes a static-sweep dataset campaign.
+	BuildConfig = telemetry.BuildConfig
+	// WalkConfig describes a frequency-walk dataset campaign.
+	WalkConfig = telemetry.WalkConfig
+)
+
+// DefaultBuildConfig returns the standard static extraction campaign.
+func DefaultBuildConfig(workloads []string, freqs []float64) BuildConfig {
+	return telemetry.DefaultBuildConfig(workloads, freqs)
+}
+
+// DefaultWalkConfig returns the standard frequency-walk campaign.
+func DefaultWalkConfig(workloads []string, freqs []float64) WalkConfig {
+	return telemetry.DefaultWalkConfig(workloads, freqs)
+}
+
+// BuildDataset runs a static extraction campaign.
+func BuildDataset(cfg BuildConfig) (*Dataset, error) { return telemetry.Build(cfg) }
+
+// BuildWalkDataset runs a frequency-walk extraction campaign.
+func BuildWalkDataset(cfg WalkConfig) (*Dataset, error) { return telemetry.BuildWalk(cfg) }
+
+// FeatureNames returns the full 78-feature telemetry vocabulary.
+func FeatureNames() []string { return telemetry.FullFeatureNames() }
+
+// TableIVFeatures returns the paper's top-20 attribute list.
+func TableIVFeatures() []string { return telemetry.TableIVFeatureNames() }
+
+// The Boreas model and controller (the paper's contribution).
+type (
+	// Predictor is the trained severity predictor.
+	Predictor = core.Predictor
+	// TrainConfig selects features and GBT hyper-parameters.
+	TrainConfig = core.TrainConfig
+	// MLController is the guardbanded Boreas frequency controller.
+	MLController = core.Controller
+	// GBTParams are the boosted-tree hyper-parameters (Table II).
+	GBTParams = gbt.Params
+	// GBTModel is a raw boosted ensemble.
+	GBTModel = gbt.Model
+)
+
+// DefaultTrainConfig returns the paper's Table II training configuration.
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// TrainPredictor fits the Boreas severity predictor.
+func TrainPredictor(ds *Dataset, cfg TrainConfig) (*Predictor, error) { return core.Train(ds, cfg) }
+
+// NewMLController builds an ML-xx controller (guardband 0, 0.05, 0.10 for
+// the paper's ML00/ML05/ML10).
+func NewMLController(pred *Predictor, guardband float64) (*MLController, error) {
+	return core.NewController(pred, guardband)
+}
+
+// Controllers and the closed-loop harness.
+type (
+	// Controller selects the next frequency from telemetry.
+	Controller = control.Controller
+	// Observation is the controller's per-decision input.
+	Observation = control.Observation
+	// LoopConfig parametrises a closed-loop run.
+	LoopConfig = control.LoopConfig
+	// LoopResult scores one run.
+	LoopResult = control.LoopResult
+	// CriticalTemps is the thermal-threshold table.
+	CriticalTemps = control.CriticalTemps
+	// ThermalController is the TH-xx reactive baseline.
+	ThermalController = control.ThermalController
+	// FixedController pins one frequency (global limit, oracle points).
+	FixedController = control.FixedController
+	// OracleTable is the static-sweep upper bound.
+	OracleTable = control.OracleTable
+)
+
+// DefaultLoopConfig matches the paper's dynamic runs.
+func DefaultLoopConfig() LoopConfig { return control.DefaultLoopConfig() }
+
+// RunLoop executes one closed-loop evaluation.
+func RunLoop(p *Pipeline, w *Workload, ctrl Controller, cfg LoopConfig) (*LoopResult, error) {
+	return control.RunLoop(p, w, ctrl, cfg)
+}
+
+// BuildCriticalTemps extracts the thermal-threshold table from sweeps.
+func BuildCriticalTemps(p *Pipeline, workloads []string, freqs []float64, steps, sensorIndex int) (*CriticalTemps, error) {
+	return control.BuildCriticalTemps(p, workloads, freqs, steps, sensorIndex)
+}
+
+// NewThermalController builds a TH-xx controller.
+func NewThermalController(table *CriticalTemps, relax float64) *ThermalController {
+	return control.NewThermalController(table, relax)
+}
+
+// CalibrateThermalMargin constructs the paper's TH-00: the smallest
+// threshold margin that is incursion-free on the calibration workloads.
+func CalibrateThermalMargin(p *Pipeline, table *CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64) (*ThermalController, error) {
+	return control.CalibrateThermalMargin(p, table, workloads, cfg, maxMargin)
+}
+
+// BuildOracle sweeps every workload over every frequency with perfect
+// knowledge (the upper bound of Fig 2).
+func BuildOracle(p *Pipeline, workloads []string, freqs []float64, steps int) (*OracleTable, error) {
+	return control.BuildOracle(p, workloads, freqs, steps)
+}
+
+// Experiments: the per-table/figure generators.
+type (
+	// Lab caches the expensive shared artefacts of the experiment suite.
+	Lab = experiments.Lab
+	// ExperimentConfig scales the experiment campaign.
+	ExperimentConfig = experiments.Config
+)
+
+// DefaultExperimentConfig is the paper-scale campaign.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// QuickExperimentConfig is a reduced campaign for fast iteration.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// NewLab builds the experiment context.
+func NewLab(cfg ExperimentConfig) (*Lab, error) { return experiments.NewLab(cfg) }

@@ -1,0 +1,220 @@
+// Command boreas regenerates the paper's tables and figures.
+//
+//	boreas -experiment all          # everything (minutes)
+//	boreas -experiment fig7         # just the headline comparison
+//	boreas -quick -experiment fig2  # reduced campaign for fast iteration
+//	boreas -experiment fig8 -out ./traces   # also write per-run CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/hotgauge/boreas/internal/experiments"
+	"github.com/hotgauge/boreas/internal/hotspot"
+)
+
+var experimentNames = []string{
+	"table1", "fig1", "fig2", "table2", "table3", "table4",
+	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "overhead",
+	"cochran", "delay", "placement",
+}
+
+func main() {
+	var (
+		expr  = flag.String("experiment", "all", "experiment to run: all | "+strings.Join(experimentNames, " | "))
+		quick = flag.Bool("quick", false, "use the reduced campaign (seconds instead of minutes)")
+		out   = flag.String("out", "", "directory for CSV artefacts (fig5/fig8 traces); empty disables")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	if *expr == "all" {
+		for _, n := range experimentNames {
+			want[n] = true
+		}
+	} else {
+		for _, n := range strings.Split(*expr, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	start := time.Now()
+	run := func(name string, f func() (string, error)) {
+		if !want[name] {
+			return
+		}
+		delete(want, name)
+		t0 := time.Now()
+		text, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(text)
+		fmt.Printf("  [%s took %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+
+	run("table1", func() (string, error) {
+		return experiments.TableI().Render(), nil
+	})
+	run("fig1", func() (string, error) {
+		r, err := experiments.Fig1SeveritySurface(hotspot.DefaultSeverityParams())
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig2", func() (string, error) {
+		r, err := experiments.Fig2StaticSweep(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("table2", func() (string, error) {
+		r, err := experiments.TableIIModel(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("table3", func() (string, error) {
+		r, err := experiments.TableIIISplit(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("table4", func() (string, error) {
+		r, err := experiments.TableIVFeatureImportance(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig4", func() (string, error) {
+		r, err := experiments.Fig4ThermalThresholds(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig5", func() (string, error) {
+		r, err := experiments.Fig5SensorStudy(lab, "calculix", 4.25)
+		if err != nil {
+			return "", err
+		}
+		if *out != "" {
+			if err := writeFig5CSV(*out, r); err != nil {
+				return "", err
+			}
+		}
+		return r.Render(), nil
+	})
+	run("fig6", func() (string, error) {
+		r, err := experiments.Fig6Guardbands(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig7", func() (string, error) {
+		r, err := experiments.Fig7Performance(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig8", func() (string, error) {
+		r, err := experiments.Fig8DynamicTraces(lab)
+		if err != nil {
+			return "", err
+		}
+		if *out != "" {
+			for name, runs := range r.Runs {
+				for ctrl, lr := range runs {
+					path := filepath.Join(*out, fmt.Sprintf("fig8_%s_%s.csv", name, ctrl))
+					if err := os.WriteFile(path, []byte(experiments.TraceCSV(lr, lab.Config().Sim.TimestepSec)), 0o644); err != nil {
+						return "", err
+					}
+				}
+			}
+		}
+		return r.Render(), nil
+	})
+	run("fig9", func() (string, error) {
+		r, err := experiments.Fig9MSEvsSize(lab, nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("overhead", func() (string, error) {
+		r, err := experiments.Overhead(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("cochran", func() (string, error) {
+		r, err := experiments.CochranComparison(lab)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("delay", func() (string, error) {
+		r, err := experiments.DelayStudy(lab, "gromacs", 40)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("placement", func() (string, error) {
+		r, err := experiments.SensorPlacement(lab, 7)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+
+	for name := range want {
+		fatal(fmt.Errorf("unknown experiment %q (known: all, %s)", name, strings.Join(experimentNames, ", ")))
+	}
+	fmt.Printf("all requested experiments done in %.1fs\n", time.Since(start).Seconds())
+}
+
+func writeFig5CSV(dir string, r *experiments.Fig5Result) error {
+	var b strings.Builder
+	b.WriteString("time_ms")
+	for _, n := range r.SensorNames {
+		b.WriteString("," + n)
+	}
+	b.WriteString(",severity\n")
+	for i := range r.TimesMs {
+		fmt.Fprintf(&b, "%.3f", r.TimesMs[i])
+		for s := range r.SensorNames {
+			fmt.Fprintf(&b, ",%.2f", r.SensorTemps[s][i])
+		}
+		fmt.Fprintf(&b, ",%.4f\n", r.Severity[i])
+	}
+	return os.WriteFile(filepath.Join(dir, "fig5_sensors.csv"), []byte(b.String()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "boreas:", err)
+	os.Exit(1)
+}

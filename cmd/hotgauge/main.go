@@ -1,0 +1,115 @@
+// Command hotgauge drives the simulation pipeline directly: fixed-
+// frequency trace dumps and dataset extraction, the two things the
+// HotGauge framework is used for in the paper.
+//
+//	hotgauge -mode trace -workload gromacs -freq 4.5 -steps 150
+//	hotgauge -mode dataset -set train -o train.csv
+//	hotgauge -mode walk -set train -o walk.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/telemetry"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "trace", "trace | dataset | walk")
+		wl    = flag.String("workload", "gromacs", "workload name (trace mode)")
+		freq  = flag.Float64("freq", 4.0, "frequency in GHz (trace mode)")
+		steps = flag.Int("steps", 150, "timesteps per run")
+		set   = flag.String("set", "train", "workload set: train | test | all (dataset/walk modes)")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *mode {
+	case "trace":
+		if err := dumpTrace(w, *wl, *freq, *steps); err != nil {
+			fatal(err)
+		}
+	case "dataset":
+		names, err := setNames(*set)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := telemetry.DefaultBuildConfig(names, power.FrequencySteps())
+		cfg.StepsPerRun = *steps
+		ds, err := telemetry.Build(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ds.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances\n", ds.Len())
+	case "walk":
+		names, err := setNames(*set)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := telemetry.DefaultWalkConfig(names, power.FrequencySteps())
+		ds, err := telemetry.BuildWalk(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ds.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances\n", ds.Len())
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func setNames(set string) ([]string, error) {
+	switch set {
+	case "train":
+		return workload.TrainNames, nil
+	case "test":
+		return workload.TestNames, nil
+	case "all":
+		return append(append([]string{}, workload.TrainNames...), workload.TestNames...), nil
+	}
+	return nil, fmt.Errorf("unknown set %q (train|test|all)", set)
+}
+
+func dumpTrace(w *os.File, name string, freq float64, steps int) error {
+	p, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	trace, err := p.RunStatic(name, power.ClampFrequency(freq), steps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "time_ms,freq_ghz,voltage,power_w,max_temp,max_mltd,severity,sensor_tsens03,ipc")
+	for _, r := range trace {
+		fmt.Fprintf(w, "%.3f,%.2f,%.3f,%.2f,%.2f,%.2f,%.4f,%.2f,%.3f\n",
+			r.Time*1e3, r.FrequencyGHz, r.Voltage, r.TotalPower,
+			r.Severity.MaxTemp, r.Severity.MaxMLTD, r.Severity.Max,
+			r.SensorDelayed[sim.DefaultSensorIndex], r.Counters.IPC())
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hotgauge:", err)
+	os.Exit(1)
+}

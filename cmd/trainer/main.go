@@ -1,0 +1,147 @@
+// Command trainer fits Boreas severity models from dataset CSVs produced
+// by the hotgauge command, reports accuracy and feature importance, and
+// serialises the model.
+//
+//	trainer -data train.csv -model boreas.gbt
+//	trainer -data train.csv -test test.csv -gridsearch
+//	trainer -model boreas.gbt -inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/telemetry"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "training dataset CSV (from hotgauge -mode dataset)")
+		test    = flag.String("test", "", "optional held-out dataset CSV")
+		model   = flag.String("model", "", "model file to write (train) or read (-inspect)")
+		inspect = flag.Bool("inspect", false, "print a serialised model's structure")
+		grid    = flag.Bool("gridsearch", false, "run leave-one-application-out grid search")
+		trees   = flag.Int("trees", 223, "n_estimators")
+		depth   = flag.Int("depth", 3, "max_depth")
+		alpha   = flag.Float64("alpha", 0.3, "learning rate")
+		gamma   = flag.Float64("gamma", 0, "min split loss")
+		allFeat = flag.Bool("all-features", false, "train on all 78 features instead of the Table IV top 20")
+	)
+	flag.Parse()
+
+	if *inspect {
+		if *model == "" {
+			fatal(fmt.Errorf("-inspect requires -model"))
+		}
+		f, err := os.Open(*model)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		m, err := gbt.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		cmp, adds := m.PredictionOps()
+		fmt.Printf("model: %d trees, depth %d, %d features, base %.4f\n",
+			len(m.Trees), m.Params.MaxDepth, len(m.FeatureNames), m.Base)
+		fmt.Printf("cost: %d weight bytes, %d comparisons + %d adds per prediction\n",
+			m.WeightBytes(), cmp, adds)
+		fmt.Println("importance:")
+		for i, rf := range m.RankedImportance() {
+			if i >= 20 || rf.Gain == 0 {
+				break
+			}
+			fmt.Printf("  %2d. %-28s %5.1f%%\n", i+1, rf.Name, 100*rf.Gain)
+		}
+		return
+	}
+
+	if *data == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	ds, err := readCSV(*data)
+	if err != nil {
+		fatal(err)
+	}
+	features := telemetry.TableIVFeatureNames()
+	if *allFeat {
+		features = ds.FeatureNames
+	}
+	sel, err := ds.Select(features)
+	if err != nil {
+		fatal(err)
+	}
+
+	params := gbt.Params{NumTrees: *trees, MaxDepth: *depth, LearningRate: *alpha,
+		Gamma: *gamma, Lambda: 1, MinChildWeight: 1}
+
+	if *grid {
+		gridParams := []gbt.Params{}
+		for _, t := range []int{40, 100, 223, 400} {
+			for _, d := range []int{2, 3, 4} {
+				p := params
+				p.NumTrees, p.MaxDepth = t, d
+				gridParams = append(gridParams, p)
+			}
+		}
+		res, err := gbt.GridSearch(sel.X, sel.Y, sel.Workloads, sel.FeatureNames, gridParams)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("grid search (leave-one-application-out CV), best first:")
+		for _, r := range res {
+			fmt.Printf("  trees=%3d depth=%d  MSE %.5f +- %.5f\n",
+				r.Params.NumTrees, r.Params.MaxDepth, r.MeanMSE, r.StdMSE)
+		}
+		params = res[0].Params
+		fmt.Printf("training final model with trees=%d depth=%d\n", params.NumTrees, params.MaxDepth)
+	}
+
+	m, err := gbt.Train(sel.X, sel.Y, sel.FeatureNames, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("train MSE: %.5f on %d instances\n", m.MSE(sel.X, sel.Y), sel.Len())
+
+	if *test != "" {
+		tds, err := readCSV(*test)
+		if err != nil {
+			fatal(err)
+		}
+		tsel, err := tds.Select(features)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("test MSE: %.5f on %d instances\n", m.MSE(tsel.X, tsel.Y), tsel.Len())
+	}
+
+	if *model != "" {
+		f, err := os.Create(*model)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		n, err := m.WriteTo(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes; hardware weight budget %d bytes)\n", *model, n, m.WeightBytes())
+	}
+}
+
+func readCSV(path string) (*telemetry.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ReadCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trainer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Sensor-study: reproduce the paper's Fig 5 observations interactively -
+// sensor placement determines what a thermal controller can see, and
+// read-out delay determines how late it sees it. Runs one hot workload
+// with all seven sensors and sweeps the delay.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hotgauge/boreas"
+)
+
+func main() {
+	const (
+		name  = "calculix"
+		freq  = 4.25
+		steps = 150
+	)
+
+	// Part 1: sensor placement. Run once and compare what each of the 7
+	// sensors reports against ground truth.
+	cfg := boreas.DefaultSimConfig()
+	pipe, err := boreas.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := pipe.RunStatic(name, freq, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := trace[len(trace)-1]
+	fmt.Printf("%s at %.2f GHz for 12 ms: final die peak %.1f C, severity %.3f\n\n",
+		name, freq, last.Severity.MaxTemp, last.Severity.Max)
+	fmt.Println("sensor readings at the end of the run (960 us read-out delay):")
+	for i, s := range pipe.Sensors().Sensors() {
+		note := ""
+		switch i {
+		case 3:
+			note = "  <- the paper's preferred sensor (EX stage)"
+		case 4, 5, 6:
+			note = "  <- poorly placed: tracks only bulk warm-up"
+		}
+		fmt.Printf("  %s (%.2f, %.2f) mm: %6.1f C%s\n",
+			s.Name, s.XM*1e3, s.YM*1e3, last.SensorDelayed[i], note)
+	}
+	hotCool := 0
+	for _, r := range trace {
+		if r.Severity.Max >= 1 && r.SensorDelayed[boreas.DefaultSensorIndex] < 100 {
+			hotCool++
+		}
+	}
+	fmt.Printf("\nsteps with severity >= 1.0 while the best sensor read under 100 C: %d of %d\n",
+		hotCool, steps)
+
+	// Part 2: delay sweep. The same sensor becomes less useful as the
+	// read-out latency grows (0, 180 us, 960 us as in the paper).
+	fmt.Println("\nsensor delay sweep (worst reading lag vs ground truth at the sensor cell):")
+	for _, delay := range []float64{0, 180e-6, 960e-6} {
+		dcfg := cfg
+		dcfg.SensorDelaySec = delay
+		dp, err := boreas.NewPipeline(dcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dtrace, err := dp.RunStatic(name, freq, steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for _, r := range dtrace {
+			lag := r.SensorCurrent[boreas.DefaultSensorIndex] - r.SensorDelayed[boreas.DefaultSensorIndex]
+			if lag > worst {
+				worst = lag
+			}
+		}
+		fmt.Printf("  delay %4.0f us: sensor lags ground truth by up to %.1f C\n", delay*1e6, worst)
+	}
+	fmt.Println("\na reactive controller must guardband against all of this; Boreas predicts instead.")
+}

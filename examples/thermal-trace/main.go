@@ -1,0 +1,59 @@
+// Thermal-trace: drive the HotGauge-style pipeline directly and watch a
+// fast hotspot form. Runs the spiky gromacs workload pinned above its
+// safe ceiling and prints the power/temperature/MLTD/severity evolution -
+// the raw phenomenon Boreas exists to mitigate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/hotgauge/boreas"
+)
+
+func main() {
+	pipe, err := boreas.NewPipeline(boreas.DefaultSimConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		name  = "gromacs"
+		freq  = 4.25 // one step above gromacs's ~4.0 GHz safe ceiling
+		steps = 150  // 12 ms
+	)
+	trace, err := pipe.RunStatic(name, freq, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s pinned at %.2f GHz (V = %.2f): 12 ms trace\n\n", name, freq, boreas.VoltageFor(freq))
+	fmt.Println("  time   power   maxT   MLTD  severity  sensor(tsens03)")
+	worstStep, worst := 0, 0.0
+	for i, r := range trace {
+		if r.Severity.Max > worst {
+			worst, worstStep = r.Severity.Max, i
+		}
+		if i%10 != 9 {
+			continue
+		}
+		bar := strings.Repeat("#", int(20*min(r.Severity.Max, 1)))
+		fmt.Printf("  %4.1fms %5.1fW %5.1fC %5.1fC  %6.3f %s\n",
+			r.Time*1e3, r.TotalPower, r.Severity.MaxTemp, r.Severity.MaxMLTD, r.Severity.Max, bar)
+		_ = bar
+	}
+	r := trace[worstStep]
+	fmt.Printf("\nworst moment: t=%.2f ms, severity %.3f (>= 1.0 means immediate danger)\n",
+		r.Time*1e3, r.Severity.Max)
+	fmt.Printf("  die peak %.1f C with %.1f C of local gradient (MLTD)\n", r.Severity.MaxTemp, r.Severity.MaxMLTD)
+	fmt.Printf("  the delayed EX-stage sensor read %.1f C at that moment, %.1f C behind the peak -\n",
+		r.SensorDelayed[boreas.DefaultSensorIndex], r.Severity.MaxTemp-r.SensorDelayed[boreas.DefaultSensorIndex])
+	fmt.Println("  the blind spot (sensor offset + read-out delay) a reactive controller must guardband.")
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module github.com/hotgauge/boreas
+
+go 1.22

@@ -1,0 +1,53 @@
+package arch
+
+import (
+	"math"
+
+	"github.com/hotgauge/boreas/internal/floorplan"
+)
+
+// ActivityVector converts one interval's telemetry into per-unit power
+// activity factors in [0,1], the interface between the performance model
+// and the power model. Wide FP operations scale FPU activity up: a phase
+// issuing AVX-class ops at the same duty cycle burns proportionally more
+// energy, which is precisely what makes the FPU the canonical fast-hotspot
+// source.
+func ActivityVector(k Counters) [floorplan.NumUnits]float64 {
+	var a [floorplan.NumUnits]float64
+	cy := k.TotalCycles
+	if cy <= 0 {
+		return a
+	}
+	clamp := func(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+	rate := func(events, perCycleMax float64) float64 {
+		return clamp(events / (perCycleMax * cy))
+	}
+
+	fpScale := 0.25 + 0.75*k.EffectiveFPWidth/4
+	if k.EffectiveFPWidth <= 0 {
+		fpScale = 0.25
+	}
+
+	a[floorplan.UnitL1I] = rate(k.ICacheReadAccesses, 1)
+	a[floorplan.UnitIFU] = k.IFUDutyCycle
+	a[floorplan.UnitBPU] = rate(k.BTBReadAccesses, 1)
+	a[floorplan.UnitITLB] = rate(k.ITLBTotalAccesses, 1)
+	a[floorplan.UnitDecode] = k.DecodeDutyCycle
+	a[floorplan.UnitUopCache] = rate(k.UopCacheHits, 1)
+	a[floorplan.UnitRename] = rate(k.RenameWrites, 4)
+	a[floorplan.UnitROB] = k.ROBDutyCycle
+	a[floorplan.UnitIntRF] = rate(k.IntRFReads+k.IntRFWrites, 12)
+	a[floorplan.UnitScheduler] = k.SchedulerDutyCycle
+	a[floorplan.UnitFpRF] = clamp(rate(k.FpRFReads+k.FpRFWrites, 6) * fpScale)
+	a[floorplan.UnitBTB] = rate(k.BTBReadAccesses+k.BTBWriteAccesses, 1)
+	a[floorplan.UnitALU] = k.ALUDutyCycle
+	a[floorplan.UnitMUL] = k.MULCdbDutyCycle
+	a[floorplan.UnitDIV] = k.DIVCdbDutyCycle
+	a[floorplan.UnitFPU] = clamp(k.FPUCdbDutyCycle * fpScale)
+	a[floorplan.UnitLSU] = k.LSUDutyCycle
+	a[floorplan.UnitDTLB] = rate(k.DTLBTotalAccesses, 2)
+	a[floorplan.UnitL1D] = rate(k.DCacheReadAccesses+k.DCacheWriteAccesses, 2)
+	a[floorplan.UnitL2] = rate(k.L2Accesses, 0.12)
+	a[floorplan.UnitUncore] = rate(k.L2Misses, 0.05)
+	return a
+}

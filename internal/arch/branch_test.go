@@ -1,0 +1,97 @@
+package arch
+
+import (
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+func newPredictor(t *testing.T) *Gshare {
+	t.Helper()
+	g, err := NewGshare(GshareConfig{HistoryBits: 12, TableBits: 14, BTBEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGshareConfigValidate(t *testing.T) {
+	for _, bad := range []GshareConfig{
+		{HistoryBits: 0, TableBits: 14, BTBEntries: 1024},
+		{HistoryBits: 30, TableBits: 14, BTBEntries: 1024},
+		{HistoryBits: 12, TableBits: 0, BTBEntries: 1024},
+		{HistoryBits: 12, TableBits: 14, BTBEntries: 1000},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestGshareLearnsAlwaysTaken(t *testing.T) {
+	g := newPredictor(t)
+	for i := 0; i < 1000; i++ {
+		g.Predict(0x400, true)
+	}
+	g.ResetStats()
+	for i := 0; i < 1000; i++ {
+		g.Predict(0x400, true)
+	}
+	if mr := g.MispredictRate(); mr > 0.01 {
+		t.Fatalf("always-taken branch should be learned, rate %v", mr)
+	}
+}
+
+func TestGshareLearnsPeriodicPattern(t *testing.T) {
+	g := newPredictor(t)
+	// Loop branch: taken 7 times, not-taken once (period 8).
+	outcome := func(i int) bool { return i%8 != 7 }
+	for i := 0; i < 4000; i++ {
+		g.Predict(0x400, outcome(i))
+	}
+	g.ResetStats()
+	for i := 0; i < 4000; i++ {
+		g.Predict(0x400, outcome(i))
+	}
+	if mr := g.MispredictRate(); mr > 0.05 {
+		t.Fatalf("period-8 loop should be learned, rate %v", mr)
+	}
+}
+
+func TestGshareRandomBranchesNearHalf(t *testing.T) {
+	g := newPredictor(t)
+	r := rng.New(3)
+	for i := 0; i < 20000; i++ {
+		g.Predict(uint64(r.Intn(64))*4, r.Bernoulli(0.5))
+	}
+	mr := g.MispredictRate()
+	if mr < 0.35 || mr > 0.65 {
+		t.Fatalf("random branches should mispredict ~50%%, rate %v", mr)
+	}
+}
+
+func TestGshareBiasedBranchesBetterThanRandom(t *testing.T) {
+	g := newPredictor(t)
+	r := rng.New(4)
+	for i := 0; i < 20000; i++ {
+		g.Predict(uint64(r.Intn(64))*4, r.Bernoulli(0.9))
+	}
+	if mr := g.MispredictRate(); mr > 0.25 {
+		t.Fatalf("90%%-biased branches should be mostly predicted, rate %v", mr)
+	}
+}
+
+func TestGshareStats(t *testing.T) {
+	g := newPredictor(t)
+	for i := 0; i < 10; i++ {
+		g.Predict(0x100, true)
+	}
+	lookups, _ := g.Stats()
+	if lookups != 10 {
+		t.Fatalf("lookups = %d, want 10", lookups)
+	}
+	g.ResetStats()
+	if l, m := g.Stats(); l != 0 || m != 0 {
+		t.Fatal("ResetStats should zero counters")
+	}
+}

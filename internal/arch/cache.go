@@ -1,0 +1,168 @@
+// Package arch implements the performance model of the simulated core: an
+// interval-style out-of-order CPU model (base CPI plus miss-event
+// penalties, the modelling approach used by Sniper) on top of structural
+// simulations of the cache hierarchy, TLBs and branch predictor.
+//
+// The structural components are exercised with sampled synthetic access
+// streams derived from the active workload phase; the measured miss and
+// misprediction rates feed the interval equations, which produce the
+// per-timestep performance-counter telemetry that Boreas consumes.
+package arch
+
+import "fmt"
+
+// CacheConfig sizes a set-associative cache.
+type CacheConfig struct {
+	Sets     int // number of sets (power of two)
+	Ways     int
+	LineSize int // bytes (power of two)
+}
+
+// Size returns the cache capacity in bytes.
+func (c CacheConfig) Size() int { return c.Sets * c.Ways * c.LineSize }
+
+// Validate reports sizing errors.
+func (c CacheConfig) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("arch: non-positive cache geometry %+v", c)
+	}
+	if c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("arch: sets must be a power of two, got %d", c.Sets)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("arch: line size must be a power of two, got %d", c.LineSize)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// hit/miss behaviour only (no data), which is all the interval model
+// needs. The zero value is not usable; construct with NewCache.
+type Cache struct {
+	cfg       CacheConfig
+	setShift  uint
+	setMask   uint64
+	tags      []uint64 // sets*ways, valid bit folded into tag via +1 offset
+	stamps    []uint64 // LRU timestamps
+	clock     uint64
+	hits      uint64
+	misses    uint64
+	writeHits uint64
+	writeMiss uint64
+}
+
+// NewCache builds an empty cache.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		setShift: shift,
+		setMask:  uint64(cfg.Sets - 1),
+		tags:     make([]uint64, cfg.Sets*cfg.Ways),
+		stamps:   make([]uint64, cfg.Sets*cfg.Ways),
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up addr, allocating on miss, and reports whether it hit.
+// write only affects the write-specific statistics.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line + 1 // +1 so tag 0 means invalid
+	base := set * c.cfg.Ways
+	c.clock++
+
+	victim := base
+	oldest := c.stamps[base]
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.hits++
+			if write {
+				c.writeHits++
+			}
+			return true
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+	c.misses++
+	if write {
+		c.writeMiss++
+	}
+	return false
+}
+
+// Install inserts the line containing addr without touching statistics;
+// used by the prefetcher so prefetch fills do not count as demand misses.
+func (c *Cache) Install(addr uint64) {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line + 1
+	base := set * c.cfg.Ways
+	c.clock++
+	victim := base
+	oldest := c.stamps[base]
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			return
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+}
+
+// Stats returns cumulative (accesses, misses).
+func (c *Cache) Stats() (accesses, misses uint64) {
+	return c.hits + c.misses, c.misses
+}
+
+// WriteStats returns cumulative write (accesses, misses).
+func (c *Cache) WriteStats() (accesses, misses uint64) {
+	return c.writeHits + c.writeMiss, c.writeMiss
+}
+
+// MissRate returns the lifetime miss ratio (0 if never accessed).
+func (c *Cache) MissRate() float64 {
+	a, m := c.Stats()
+	if a == 0 {
+		return 0
+	}
+	return float64(m) / float64(a)
+}
+
+// ResetStats clears the counters without flushing cache contents.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.writeHits, c.writeMiss = 0, 0, 0, 0
+}
+
+// Flush invalidates all lines and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	c.clock = 0
+	c.ResetStats()
+}

@@ -1,0 +1,162 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{Sets: 64, Ways: 8, LineSize: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []CacheConfig{
+		{Sets: 0, Ways: 8, LineSize: 64},
+		{Sets: 63, Ways: 8, LineSize: 64},
+		{Sets: 64, Ways: 0, LineSize: 64},
+		{Sets: 64, Ways: 8, LineSize: 48},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestCacheSize(t *testing.T) {
+	c := CacheConfig{Sets: 64, Ways: 8, LineSize: 64}
+	if c.Size() != 32*1024 {
+		t.Fatalf("Size = %d, want 32768", c.Size())
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c, err := NewCache(CacheConfig{Sets: 4, Ways: 2, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0x1000, false) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(0x1000, false) {
+		t.Fatal("second access should hit")
+	}
+	if !c.Access(0x1020, false) {
+		t.Fatal("same-line access should hit")
+	}
+	a, m := c.Stats()
+	if a != 3 || m != 1 {
+		t.Fatalf("stats = %d/%d, want 3/1", a, m)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set, 2 ways: A, B, touch A, insert C -> B evicted, A retained.
+	c, _ := NewCache(CacheConfig{Sets: 1, Ways: 2, LineSize: 64})
+	c.Access(0x000, false) // A miss
+	c.Access(0x100, false) // B miss
+	c.Access(0x000, false) // A hit, B becomes LRU
+	c.Access(0x200, false) // C miss, evicts B
+	if !c.Access(0x000, false) {
+		t.Fatal("A should have been retained")
+	}
+	if c.Access(0x100, false) {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestCacheWorkingSetFitsNoSteadyMisses(t *testing.T) {
+	c, _ := NewCache(CacheConfig{Sets: 64, Ways: 8, LineSize: 64}) // 32 KB
+	r := rng.New(1)
+	// Warm a 16 KB working set, then measure.
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(16*1024)), false)
+	}
+	c.ResetStats()
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(16*1024)), false)
+	}
+	if mr := c.MissRate(); mr > 0.001 {
+		t.Fatalf("fitting working set should not miss, rate %v", mr)
+	}
+}
+
+func TestCacheThrashingWorkingSetMisses(t *testing.T) {
+	c, _ := NewCache(CacheConfig{Sets: 64, Ways: 8, LineSize: 64}) // 32 KB
+	r := rng.New(2)
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(4*1024*1024)), false)
+	}
+	c.ResetStats()
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(4*1024*1024)), false)
+	}
+	if mr := c.MissRate(); mr < 0.9 {
+		t.Fatalf("4 MB random stream on 32 KB cache should thrash, rate %v", mr)
+	}
+}
+
+func TestCacheSequentialStreamMissRate(t *testing.T) {
+	// Sequential accesses at 8-byte stride touch each 64 B line 8 times:
+	// steady-state miss rate ~1/8 if the stream exceeds capacity.
+	c, _ := NewCache(CacheConfig{Sets: 64, Ways: 8, LineSize: 64})
+	addr := uint64(0)
+	for i := 0; i < 100000; i++ {
+		c.Access(addr%(1<<30), false)
+		addr += 8
+	}
+	c.ResetStats()
+	for i := 0; i < 100000; i++ {
+		c.Access(addr%(1<<30), false)
+		addr += 8
+	}
+	mr := c.MissRate()
+	if mr < 0.1 || mr > 0.15 {
+		t.Fatalf("sequential stride-8 miss rate %v, want ~0.125", mr)
+	}
+}
+
+func TestCacheWriteStats(t *testing.T) {
+	c, _ := NewCache(CacheConfig{Sets: 4, Ways: 2, LineSize: 64})
+	c.Access(0x0, true)
+	c.Access(0x0, true)
+	c.Access(0x0, false)
+	wa, wm := c.WriteStats()
+	if wa != 2 || wm != 1 {
+		t.Fatalf("write stats %d/%d, want 2/1", wa, wm)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c, _ := NewCache(CacheConfig{Sets: 4, Ways: 2, LineSize: 64})
+	c.Access(0x0, false)
+	c.Flush()
+	if a, m := c.Stats(); a != 0 || m != 0 {
+		t.Fatal("flush should clear stats")
+	}
+	if c.Access(0x0, false) {
+		t.Fatal("flush should invalidate lines")
+	}
+}
+
+func TestCacheHitRateMonotoneInCapacityProperty(t *testing.T) {
+	// Property: for the same access stream, a bigger cache (same sets,
+	// more ways) never has more misses (LRU inclusion property).
+	f := func(seed uint64) bool {
+		small, _ := NewCache(CacheConfig{Sets: 16, Ways: 2, LineSize: 64})
+		big, _ := NewCache(CacheConfig{Sets: 16, Ways: 8, LineSize: 64})
+		r := rng.New(seed)
+		for i := 0; i < 3000; i++ {
+			addr := uint64(r.Intn(64 * 1024))
+			small.Access(addr, false)
+			big.Access(addr, false)
+		}
+		_, ms := small.Stats()
+		_, mb := big.Stats()
+		return mb <= ms
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

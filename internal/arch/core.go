@@ -1,0 +1,376 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+// CoreConfig sizes the modelled core: a Skylake-class 4-wide out-of-order
+// machine.
+type CoreConfig struct {
+	DispatchWidth int
+	NumALUs       int
+	FPUPorts      int
+	LSUPorts      int
+	PipelineDepth int // mispredict flush penalty in cycles
+
+	L1I, L1D, L2 CacheConfig
+	ITLB, DTLB   CacheConfig // line size = page size
+	Gshare       GshareConfig
+
+	// Miss latencies in nanoseconds (converted to cycles at runtime, so
+	// higher frequency pays more cycles per miss - the memory wall).
+	L2LatencyNs  float64
+	MemLatencyNs float64
+	// Overlap factors in [0,1]: fraction of miss latency the OoO window
+	// fails to hide (1 = fully exposed).
+	L2Overlap  float64
+	MemOverlap float64
+	// TLBMissPenalty in cycles per miss (page walk).
+	TLBMissPenalty float64
+
+	// SampleAccesses/SampleBranches bound the structural-simulation work
+	// per timestep; measured rates are scaled to the full population.
+	SampleAccesses int
+	SampleBranches int
+}
+
+// DefaultCoreConfig returns the Skylake-like configuration used by all
+// experiments: 32 KB L1s, 1 MB L2, 4-wide dispatch, 16-cycle flush.
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{
+		DispatchWidth:  4,
+		NumALUs:        4,
+		FPUPorts:       2,
+		LSUPorts:       2,
+		PipelineDepth:  16,
+		L1I:            CacheConfig{Sets: 64, Ways: 8, LineSize: 64},
+		L1D:            CacheConfig{Sets: 64, Ways: 8, LineSize: 64},
+		L2:             CacheConfig{Sets: 1024, Ways: 16, LineSize: 64},
+		ITLB:           CacheConfig{Sets: 16, Ways: 8, LineSize: 4096},
+		DTLB:           CacheConfig{Sets: 16, Ways: 4, LineSize: 4096},
+		Gshare:         GshareConfig{HistoryBits: 12, TableBits: 14, BTBEntries: 4096},
+		L2LatencyNs:    3.5,
+		MemLatencyNs:   70,
+		L2Overlap:      0.35,
+		MemOverlap:     0.4,
+		TLBMissPenalty: 20,
+		SampleAccesses: 2048,
+		SampleBranches: 1024,
+	}
+}
+
+// Validate reports configuration errors.
+func (c CoreConfig) Validate() error {
+	if c.DispatchWidth <= 0 || c.NumALUs <= 0 || c.FPUPorts <= 0 || c.LSUPorts <= 0 || c.PipelineDepth <= 0 {
+		return fmt.Errorf("arch: non-positive core width/depth")
+	}
+	for _, cc := range []CacheConfig{c.L1I, c.L1D, c.L2, c.ITLB, c.DTLB} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Gshare.Validate(); err != nil {
+		return err
+	}
+	if c.L2LatencyNs <= 0 || c.MemLatencyNs <= 0 {
+		return fmt.Errorf("arch: non-positive miss latencies")
+	}
+	if c.L2Overlap < 0 || c.L2Overlap > 1 || c.MemOverlap < 0 || c.MemOverlap > 1 {
+		return fmt.Errorf("arch: overlap factors outside [0,1]")
+	}
+	if c.SampleAccesses < 64 || c.SampleBranches < 64 {
+		return fmt.Errorf("arch: sample sizes too small for stable rates")
+	}
+	return nil
+}
+
+// Core is the stateful performance model of one core. Cache, TLB and
+// predictor contents persist across timesteps, so locality effects span
+// interval boundaries. Not safe for concurrent use.
+type Core struct {
+	cfg CoreConfig
+
+	l1i, l1d, l2, itlb, dtlb *Cache
+	bp                       *Gshare
+	rnd                      *rng.Source
+
+	// Stream state.
+	dataCursor  uint64
+	instrCursor uint64
+	branchTick  uint64
+}
+
+// NewCore builds a core with cold structures.
+func NewCore(cfg CoreConfig, seed uint64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mk := func(cc CacheConfig) *Cache {
+		c, err := NewCache(cc)
+		if err != nil {
+			panic("arch: validated config failed cache construction: " + err.Error())
+		}
+		return c
+	}
+	bp, err := NewGshare(cfg.Gshare)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		cfg:  cfg,
+		l1i:  mk(cfg.L1I),
+		l1d:  mk(cfg.L1D),
+		l2:   mk(cfg.L2),
+		itlb: mk(cfg.ITLB),
+		dtlb: mk(cfg.DTLB),
+		bp:   bp,
+		rnd:  rng.New(seed),
+	}, nil
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() CoreConfig { return c.cfg }
+
+// sampleData runs the synthetic data stream through DTLB/L1D/L2 and
+// returns measured rates.
+func (c *Core) sampleData(p PhaseParams) (missL1D, missL2, missDTLB, writeFrac float64) {
+	n := c.cfg.SampleAccesses
+	ws := uint64(p.DataWorkingSet)
+	if ws < 64 {
+		ws = 64
+	}
+	storeShare := 0.0
+	if p.FracLoad+p.FracStore > 0 {
+		storeShare = p.FracStore / (p.FracLoad + p.FracStore)
+	}
+	var l1Miss, l2Acc, l2Miss, tlbMiss, writes int
+	for i := 0; i < n; i++ {
+		if c.rnd.Float64() < p.DataSeqFraction {
+			// Word-granular streaming: each 64 B line is touched ~8 times.
+			c.dataCursor = (c.dataCursor + 8) % ws
+		} else {
+			c.dataCursor = c.rnd.Uint64() % ws
+		}
+		addr := c.dataCursor
+		write := c.rnd.Float64() < storeShare
+		if write {
+			writes++
+		}
+		if !c.dtlb.Access(addr, false) {
+			tlbMiss++
+		}
+		if !c.l1d.Access(addr, write) {
+			l1Miss++
+			l2Acc++
+			if !c.l2.Access(addr, write) {
+				l2Miss++
+			}
+			// Degree-2 next-line prefetch: sequential streams mostly hit
+			// after the first miss, as on real cores with stride
+			// prefetchers.
+			c.l1d.Install(addr + 64)
+			c.l1d.Install(addr + 128)
+			c.l2.Install(addr + 64)
+			c.l2.Install(addr + 128)
+		}
+	}
+	missL1D = float64(l1Miss) / float64(n)
+	if l2Acc > 0 {
+		missL2 = float64(l2Miss) / float64(l2Acc)
+	}
+	missDTLB = float64(tlbMiss) / float64(n)
+	writeFrac = float64(writes) / float64(n)
+	return
+}
+
+// sampleInstr runs the synthetic instruction-fetch stream through
+// ITLB/L1I/L2.
+func (c *Core) sampleInstr(p PhaseParams) (missL1I, missITLB float64) {
+	n := c.cfg.SampleAccesses / 2
+	ws := uint64(p.InstrWorkingSet)
+	if ws < 64 {
+		ws = 64
+	}
+	const iBase = 1 << 40 // keep code and data in disjoint address regions
+	var l1Miss, tlbMiss int
+	for i := 0; i < n; i++ {
+		// Mostly sequential fetch with taken-branch redirects.
+		if c.rnd.Float64() < p.FracBranch*0.5 {
+			c.instrCursor = c.rnd.Uint64() % ws
+		} else {
+			c.instrCursor = (c.instrCursor + 16) % ws
+		}
+		addr := iBase + c.instrCursor
+		if !c.itlb.Access(addr, false) {
+			tlbMiss++
+		}
+		if !c.l1i.Access(addr, false) {
+			l1Miss++
+			c.l2.Access(addr, false)
+		}
+	}
+	missL1I = float64(l1Miss) / float64(n)
+	missITLB = float64(tlbMiss) / float64(n)
+	return
+}
+
+// sampleBranches measures the misprediction rate on a synthetic branch
+// population whose outcomes mix a learnable periodic pattern with noise.
+func (c *Core) sampleBranches(p PhaseParams) (mispred float64) {
+	n := c.cfg.SampleBranches
+	// Number of distinct branch sites scales with code footprint.
+	sites := uint64(p.InstrWorkingSet / 128)
+	if sites < 4 {
+		sites = 4
+	}
+	var wrong int
+	for i := 0; i < n; i++ {
+		c.branchTick++
+		pc := (c.branchTick % sites) * 4
+		var taken bool
+		if c.rnd.Float64() < p.BranchRegularity {
+			// Learnable: outcome is a fixed function of site and a short
+			// period, which gshare's history can capture.
+			period := pc%5 + 2
+			taken = (c.branchTick/sites)%period != 0
+		} else {
+			taken = c.rnd.Bernoulli(0.5)
+		}
+		if !c.bp.Predict(pc, taken) {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(n)
+}
+
+// Step advances the core by dt seconds at the given operating point and
+// returns the telemetry for the interval.
+func (c *Core) Step(p PhaseParams, fGHz, volt, dt float64) (Counters, error) {
+	if err := p.Validate(); err != nil {
+		return Counters{}, err
+	}
+	if fGHz <= 0 || dt <= 0 {
+		return Counters{}, fmt.Errorf("arch: non-positive frequency or dt")
+	}
+
+	missL1D, missL2, missDTLB, writeFrac := c.sampleData(p)
+	missL1I, missITLB := c.sampleInstr(p)
+	mispred := c.sampleBranches(p)
+
+	cycles := dt * fGHz * 1e9
+	l2Cy := c.cfg.L2LatencyNs * fGHz
+	memCy := c.cfg.MemLatencyNs * fGHz
+
+	memPerInstr := p.FracLoad + p.FracStore
+	const ifetchPerInstr = 0.25 // one 16-byte fetch per 4 instructions
+
+	cpiMem := memPerInstr * missL1D * (c.cfg.L2Overlap*l2Cy + missL2*c.cfg.MemOverlap*memCy)
+	cpiIfetch := ifetchPerInstr * missL1I * (0.8*l2Cy + missL2*0.5*memCy)
+	cpiTLB := memPerInstr*missDTLB*c.cfg.TLBMissPenalty + ifetchPerInstr*missITLB*c.cfg.TLBMissPenalty
+	cpiBranch := p.FracBranch * mispred * float64(c.cfg.PipelineDepth)
+	cpi := p.BaseCPI + cpiMem + cpiIfetch + cpiTLB + cpiBranch
+
+	n := cycles / cpi
+
+	// Wrong-path expansion: each mispredict drags ~2x pipeline-width
+	// wrong-path fetches and roughly half that many wrong-path issues.
+	fetchWaste := 1 + mispred*p.FracBranch*float64(c.cfg.PipelineDepth)*0.5
+	execWaste := 1 + mispred*p.FracBranch*float64(c.cfg.PipelineDepth)*0.25
+
+	fetched := n * fetchWaste
+	loads := n * p.FracLoad
+	stores := n * p.FracStore
+	branches := n * p.FracBranch
+	aluOps := n * p.FracInt * execWaste
+	mulOps := n * p.FracMul * execWaste
+	divOps := n * p.FracDiv * execWaste
+	fpuOps := n * p.FracFP * execWaste
+	issued := aluOps + mulOps + divOps + fpuOps + (loads+stores)*execWaste
+
+	dca := loads + stores
+	clamp01 := func(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+
+	k := Counters{
+		FrequencyGHz: fGHz,
+		Voltage:      volt,
+
+		TotalCycles: cycles,
+		BusyCycles:  math.Min(cycles, n*p.BaseCPI),
+		StallCycles: math.Max(0, cycles-n*p.BaseCPI),
+
+		CommittedInstructions:    n,
+		CommittedIntInstructions: n * p.FracInt,
+		CommittedFPInstructions:  n * p.FracFP,
+		CommittedBranches:        branches,
+		CommittedLoads:           loads,
+		CommittedStores:          stores,
+
+		FetchedInstructions:  fetched,
+		ICacheReadAccesses:   fetched * ifetchPerInstr,
+		ICacheReadMisses:     fetched * ifetchPerInstr * missL1I,
+		ITLBTotalAccesses:    fetched * ifetchPerInstr,
+		ITLBTotalMisses:      fetched * ifetchPerInstr * missITLB,
+		BTBReadAccesses:      branches * fetchWaste,
+		BTBWriteAccesses:     branches * mispred,
+		BranchMispredictions: branches * mispred,
+		UopCacheAccesses:     fetched * ifetchPerInstr,
+		UopCacheHits:         fetched * ifetchPerInstr * (1 - missL1I) * 0.8,
+
+		CdbALUAccesses: aluOps,
+		CdbMULAccesses: mulOps,
+		CdbDIVAccesses: divOps,
+		CdbFPUAccesses: fpuOps,
+		ROBReads:       n * float64(c.cfg.DispatchWidth) * 0.5 * execWaste,
+		ROBWrites:      n * execWaste,
+		RenameReads:    fetched * 2,
+		RenameWrites:   fetched,
+		RSReads:        issued,
+		RSWrites:       n * execWaste,
+		IntRFReads:     (aluOps + mulOps + divOps) * 2,
+		IntRFWrites:    aluOps + mulOps + divOps,
+		FpRFReads:      fpuOps * 2,
+		FpRFWrites:     fpuOps,
+
+		DCacheReadAccesses:  dca * (1 - writeFrac),
+		DCacheReadMisses:    dca * (1 - writeFrac) * missL1D,
+		DCacheWriteAccesses: dca * writeFrac,
+		DCacheWriteMisses:   dca * writeFrac * missL1D,
+		L2Accesses:          dca*missL1D + fetched*ifetchPerInstr*missL1I,
+		L2Misses:            (dca*missL1D + fetched*ifetchPerInstr*missL1I) * missL2,
+		DTLBTotalAccesses:   dca,
+		DTLBTotalMisses:     dca * missDTLB,
+
+		IFUDutyCycle:       clamp01(fetched * ifetchPerInstr / cycles),
+		DecodeDutyCycle:    clamp01(fetched / (float64(c.cfg.DispatchWidth) * cycles)),
+		ALUDutyCycle:       clamp01(aluOps / (float64(c.cfg.NumALUs) * cycles)),
+		MULCdbDutyCycle:    clamp01(mulOps / cycles),
+		DIVCdbDutyCycle:    clamp01(divOps * 12 / cycles), // div occupies ~12 cycles
+		FPUCdbDutyCycle:    clamp01(fpuOps / (float64(c.cfg.FPUPorts) * cycles)),
+		LSUDutyCycle:       clamp01(dca / (float64(c.cfg.LSUPorts) * cycles)),
+		ROBDutyCycle:       clamp01(n * execWaste / (float64(c.cfg.DispatchWidth) * cycles)),
+		SchedulerDutyCycle: clamp01(issued / (1.5 * float64(c.cfg.DispatchWidth) * cycles)),
+
+		EffectiveFPWidth: p.FPWidth,
+	}
+	return k, nil
+}
+
+// Reset flushes all structural state (cold caches, forgotten branch
+// history) and reseeds the stream generator.
+func (c *Core) Reset(seed uint64) {
+	c.l1i.Flush()
+	c.l1d.Flush()
+	c.l2.Flush()
+	c.itlb.Flush()
+	c.dtlb.Flush()
+	bp, err := NewGshare(c.cfg.Gshare)
+	if err != nil {
+		panic("arch: reset with validated config failed: " + err.Error())
+	}
+	c.bp = bp
+	c.rnd = rng.New(seed)
+	c.dataCursor, c.instrCursor, c.branchTick = 0, 0, 0
+}

@@ -1,0 +1,94 @@
+package arch
+
+// Counters is the per-timestep hardware telemetry produced by the core
+// model: the raw event counts and duty cycles that (together with the
+// thermal sensor reading) form Boreas's feature space. All counts are
+// float64 because the interval model produces expectations, not discrete
+// events, and because downstream ML consumes real-valued features.
+type Counters struct {
+	// Operating point.
+	FrequencyGHz float64
+	Voltage      float64
+
+	// Cycle accounting.
+	TotalCycles float64
+	BusyCycles  float64
+	StallCycles float64
+
+	// Committed instruction mix.
+	CommittedInstructions    float64
+	CommittedIntInstructions float64
+	CommittedFPInstructions  float64
+	CommittedBranches        float64
+	CommittedLoads           float64
+	CommittedStores          float64
+
+	// Front end.
+	FetchedInstructions  float64
+	ICacheReadAccesses   float64
+	ICacheReadMisses     float64
+	ITLBTotalAccesses    float64
+	ITLBTotalMisses      float64
+	BTBReadAccesses      float64
+	BTBWriteAccesses     float64
+	BranchMispredictions float64
+	UopCacheAccesses     float64
+	UopCacheHits         float64
+
+	// Execution engine (cdb = common-data-bus writebacks).
+	CdbALUAccesses float64
+	CdbMULAccesses float64
+	CdbDIVAccesses float64
+	CdbFPUAccesses float64
+	ROBReads       float64
+	ROBWrites      float64
+	RenameReads    float64
+	RenameWrites   float64
+	RSReads        float64
+	RSWrites       float64
+	IntRFReads     float64
+	IntRFWrites    float64
+	FpRFReads      float64
+	FpRFWrites     float64
+
+	// Memory subsystem.
+	DCacheReadAccesses  float64
+	DCacheReadMisses    float64
+	DCacheWriteAccesses float64
+	DCacheWriteMisses   float64
+	L2Accesses          float64
+	L2Misses            float64
+	DTLBTotalAccesses   float64
+	DTLBTotalMisses     float64
+
+	// Duty cycles in [0,1].
+	IFUDutyCycle       float64
+	DecodeDutyCycle    float64
+	ALUDutyCycle       float64
+	MULCdbDutyCycle    float64
+	DIVCdbDutyCycle    float64
+	FPUCdbDutyCycle    float64
+	LSUDutyCycle       float64
+	ROBDutyCycle       float64
+	SchedulerDutyCycle float64
+
+	// EffectiveFPWidth carries the phase's vector width into the power
+	// model (wide FP ops burn proportionally more energy per issue).
+	EffectiveFPWidth float64
+}
+
+// IPC returns committed instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.TotalCycles == 0 {
+		return 0
+	}
+	return c.CommittedInstructions / c.TotalCycles
+}
+
+// CPI returns cycles per committed instruction.
+func (c Counters) CPI() float64 {
+	if c.CommittedInstructions == 0 {
+		return 0
+	}
+	return c.TotalCycles / c.CommittedInstructions
+}

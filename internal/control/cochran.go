@@ -1,0 +1,190 @@
+package control
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/ml/kmeans"
+	"github.com/hotgauge/boreas/internal/ml/linreg"
+	"github.com/hotgauge/boreas/internal/ml/pca"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/telemetry"
+)
+
+// CochranReda reimplements the thermal-prediction baseline of Cochran &
+// Reda (DAC'10, §IV-C of the Boreas paper): raw performance counters are
+// reduced with PCA, workload phases are identified with k-means over the
+// principal components, and a per-phase, per-frequency linear regression
+// predicts the future sensor temperature. The controller throttles when
+// the predicted temperature crosses the same critical-temperature table
+// the TH controllers use - the point of the comparison being that even a
+// good temperature predictor cannot see severity.
+type CochranReda struct {
+	Table *CriticalTemps
+	// Relax matches the TH-xx relaxation for apples-to-apples comparison.
+	Relax    float64
+	Headroom float64
+	// Margin is the calibrated safety guardband (C), shared with TH-00.
+	Margin float64
+
+	pcaModel *pca.Model
+	phases   [][]float64 // k-means centroids in PC space
+	// reg[phase][freqIndex] predicts future sensor temp from
+	// [sensorTemp, pc...].
+	reg [][]*linreg.Model
+
+	featureIdx []int // counter features used (excludes the sensor)
+	sensorIdx  int
+}
+
+// CochranConfig sizes the baseline.
+type CochranConfig struct {
+	Components int
+	Phases     int
+	Ridge      float64
+	Seed       uint64
+}
+
+// DefaultCochranConfig mirrors the scale used in the original paper.
+func DefaultCochranConfig() CochranConfig {
+	return CochranConfig{Components: 5, Phases: 8, Ridge: 1e-6, Seed: 7}
+}
+
+// TrainCochranReda fits the baseline on a telemetry dataset (full
+// 78-feature schema) whose labels are ignored; the *future temperature*
+// target is derived from consecutive instances of the same workload run,
+// so the dataset must be in trace order (as telemetry.Build produces).
+func TrainCochranReda(ds *telemetry.Dataset, table *CriticalTemps, relax float64, cfg CochranConfig) (*CochranReda, error) {
+	if ds.Len() < 10 {
+		return nil, fmt.Errorf("control: dataset too small for Cochran-Reda (%d rows)", ds.Len())
+	}
+	sensorIdx, err := telemetry.FeatureIndex(telemetry.SensorFeature)
+	if err != nil {
+		return nil, err
+	}
+	freqIdx, err := telemetry.FeatureIndex(telemetry.FreqFeature)
+	if err != nil {
+		return nil, err
+	}
+
+	// Counter matrix: everything except the sensor reading.
+	var featureIdx []int
+	for i := range ds.FeatureNames {
+		if i != sensorIdx {
+			featureIdx = append(featureIdx, i)
+		}
+	}
+	counters := make([][]float64, ds.Len())
+	for r, row := range ds.X {
+		cr := make([]float64, len(featureIdx))
+		for j, c := range featureIdx {
+			cr[j] = row[c]
+		}
+		counters[r] = cr
+	}
+
+	pm, err := pca.Fit(counters, cfg.Components)
+	if err != nil {
+		return nil, fmt.Errorf("control: cochran PCA: %w", err)
+	}
+	pcs := pm.TransformAll(counters)
+	km, err := kmeans.Cluster(pcs, cfg.Phases, cfg.Seed, 0)
+	if err != nil {
+		return nil, fmt.Errorf("control: cochran k-means: %w", err)
+	}
+
+	steps := power.FrequencySteps()
+	type bucket struct {
+		x [][]float64
+		y []float64
+	}
+	buckets := make([][]bucket, cfg.Phases)
+	for p := range buckets {
+		buckets[p] = make([]bucket, len(steps))
+	}
+	// Future-temperature pairs: consecutive rows of the same workload at
+	// the same frequency.
+	for r := 0; r+1 < ds.Len(); r++ {
+		if ds.Workloads[r] != ds.Workloads[r+1] {
+			continue
+		}
+		f := ds.X[r][freqIdx]
+		fi, err := power.FrequencyIndex(f)
+		if err != nil || ds.X[r+1][freqIdx] != f {
+			continue
+		}
+		phase := km.Assign[r]
+		x := append([]float64{ds.X[r][sensorIdx]}, pcs[r]...)
+		buckets[phase][fi].x = append(buckets[phase][fi].x, x)
+		buckets[phase][fi].y = append(buckets[phase][fi].y, ds.X[r+1][sensorIdx])
+	}
+
+	cr := &CochranReda{
+		Table:      table,
+		Relax:      relax,
+		Headroom:   2,
+		pcaModel:   pm,
+		phases:     km.Centroids,
+		featureIdx: featureIdx,
+		sensorIdx:  sensorIdx,
+		reg:        make([][]*linreg.Model, cfg.Phases),
+	}
+	for p := range cr.reg {
+		cr.reg[p] = make([]*linreg.Model, len(steps))
+		for fi := range cr.reg[p] {
+			b := &buckets[p][fi]
+			if len(b.x) < cfg.Components+3 {
+				continue // too few samples; controller falls back
+			}
+			m, err := linreg.Fit(b.x, b.y, cfg.Ridge)
+			if err != nil {
+				continue
+			}
+			cr.reg[p][fi] = m
+		}
+	}
+	return cr, nil
+}
+
+// Name implements Controller.
+func (c *CochranReda) Name() string { return fmt.Sprintf("CR-%02.0f", c.Relax) }
+
+// Reset implements Controller.
+func (c *CochranReda) Reset() {}
+
+// predictTemp returns the model's future-temperature prediction at the
+// given frequency, falling back to the current reading when no regression
+// is available for the (phase, frequency) cell.
+func (c *CochranReda) predictTemp(obs Observation, fGHz float64) float64 {
+	fi, err := power.FrequencyIndex(fGHz)
+	if err != nil {
+		return obs.SensorTemp
+	}
+	full := telemetry.Extract(obs.Counters, obs.SensorTemp)
+	counterRow := make([]float64, len(c.featureIdx))
+	for j, idx := range c.featureIdx {
+		counterRow[j] = full[idx]
+	}
+	pc := c.pcaModel.Transform(counterRow)
+	phase := kmeans.Nearest(c.phases, pc)
+	m := c.reg[phase][fi]
+	if m == nil {
+		return obs.SensorTemp
+	}
+	return m.Predict(append([]float64{obs.SensorTemp}, pc...))
+}
+
+// Decide implements Controller with the same threshold policy as the TH
+// family, but driven by predicted rather than current temperature.
+func (c *CochranReda) Decide(obs Observation) float64 {
+	cur := obs.CurrentFreq
+	if c.predictTemp(obs, cur) >= c.Table.GlobalAt(cur)+c.Relax-c.Margin {
+		return cur - power.FrequencyStepGHz
+	}
+	next := cur + power.FrequencyStepGHz
+	if next <= power.MaxFrequencyGHz+1e-9 {
+		if c.predictTemp(obs, next) < c.Table.GlobalAt(next)+c.Relax-c.Margin-c.Headroom {
+			return next
+		}
+	}
+	return cur
+}

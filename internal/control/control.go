@@ -1,0 +1,171 @@
+// Package control implements the voltage/frequency selection algorithms
+// the paper evaluates and the closed-loop harness that scores them: the
+// static global limit, the per-workload oracle, the thermal-threshold
+// controllers (TH-00/05/10), and the Cochran-Reda phase-based thermal
+// predictor. The Boreas ML controller lives in internal/core and plugs
+// into the same Controller interface.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/arch"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// Observation is what a controller sees at each decision point: the last
+// interval's telemetry and the delayed sensor reading. Controllers never
+// see ground-truth severity - that is the point of the paper.
+type Observation struct {
+	// Counters is the telemetry of the interval that just finished.
+	Counters arch.Counters
+	// SensorTemp is the delayed thermal-sensor reading in Celsius.
+	SensorTemp float64
+	// CurrentFreq is the operating frequency of the finished interval.
+	CurrentFreq float64
+}
+
+// Controller selects the frequency for the next decision interval.
+type Controller interface {
+	// Name identifies the controller in reports (e.g. "TH-05", "ML05").
+	Name() string
+	// Reset prepares the controller for a fresh run.
+	Reset()
+	// Decide returns the frequency (GHz, a legal 250 MHz step) for the
+	// next interval.
+	Decide(obs Observation) float64
+}
+
+// FixedController always returns one frequency: the global VF limit
+// (3.75 GHz) or a per-workload oracle point.
+type FixedController struct {
+	ControllerName string
+	Frequency      float64
+}
+
+// Name implements Controller.
+func (c *FixedController) Name() string { return c.ControllerName }
+
+// Reset implements Controller.
+func (c *FixedController) Reset() {}
+
+// Decide implements Controller.
+func (c *FixedController) Decide(Observation) float64 { return c.Frequency }
+
+// LoopConfig parametrises a closed-loop run.
+type LoopConfig struct {
+	// Steps is the total trace length in 80 us timesteps (150 = 12 ms).
+	Steps int
+	// DecisionPeriod is the controller interval in timesteps (12 = 960 us).
+	DecisionPeriod int
+	// StartFreq is the initial frequency (the 3.75 GHz safe baseline).
+	StartFreq float64
+	// SensorIndex selects the sensor feeding the controller.
+	SensorIndex int
+}
+
+// DefaultLoopConfig matches the paper's dynamic runs: 150 steps, decisions
+// every 12 steps, starting at the 3.75 GHz global limit, sensor tsens03.
+func DefaultLoopConfig() LoopConfig {
+	return LoopConfig{
+		Steps:          150,
+		DecisionPeriod: 12,
+		StartFreq:      3.75,
+		SensorIndex:    sim.DefaultSensorIndex,
+	}
+}
+
+// Validate reports configuration errors.
+func (c LoopConfig) Validate() error {
+	if c.Steps <= 0 || c.DecisionPeriod <= 0 || c.DecisionPeriod > c.Steps {
+		return fmt.Errorf("control: need 0 < period <= steps, got %d/%d", c.DecisionPeriod, c.Steps)
+	}
+	if _, err := power.FrequencyIndex(c.StartFreq); err != nil {
+		return err
+	}
+	if c.SensorIndex < 0 {
+		return fmt.Errorf("control: negative sensor index")
+	}
+	return nil
+}
+
+// LoopResult scores one closed-loop run.
+type LoopResult struct {
+	Workload   string
+	Controller string
+	// Freqs holds the frequency in effect at every timestep.
+	Freqs []float64
+	// Severity holds the ground-truth max severity at every timestep.
+	Severity []float64
+	// SensorTemp holds the delayed sensor reading at every timestep.
+	SensorTemp []float64
+	// AvgFreq is the time-average frequency in GHz.
+	AvgFreq float64
+	// PeakSeverity is the maximum ground-truth severity over the run.
+	PeakSeverity float64
+	// Incursions counts timesteps with severity >= 1.0 (hotspot events).
+	Incursions int
+}
+
+// RunLoop executes a closed-loop run of the controller on the workload.
+// The pipeline is warm-started at the starting frequency.
+func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl Controller, cfg LoopConfig) (*LoopResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SensorIndex >= p.NumSensors() {
+		return nil, fmt.Errorf("control: sensor index %d out of range", cfg.SensorIndex)
+	}
+	if err := p.WarmStart(w, cfg.StartFreq); err != nil {
+		return nil, err
+	}
+	ctrl.Reset()
+	run := w.NewRun(p.Config().Seed)
+
+	res := &LoopResult{
+		Workload:   w.Name,
+		Controller: ctrl.Name(),
+		Freqs:      make([]float64, 0, cfg.Steps),
+		Severity:   make([]float64, 0, cfg.Steps),
+		SensorTemp: make([]float64, 0, cfg.Steps),
+	}
+	freq := cfg.StartFreq
+	var last sim.StepResult
+	for step := 0; step < cfg.Steps; step++ {
+		r, err := p.Step(run, freq)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+		res.Freqs = append(res.Freqs, freq)
+		res.Severity = append(res.Severity, r.Severity.Max)
+		res.SensorTemp = append(res.SensorTemp, r.SensorDelayed[cfg.SensorIndex])
+		if r.Severity.Max >= 1.0 {
+			res.Incursions++
+		}
+		if (step+1)%cfg.DecisionPeriod == 0 && step+1 < cfg.Steps {
+			freq = power.ClampFrequency(ctrl.Decide(Observation{
+				Counters:    last.Counters,
+				SensorTemp:  last.SensorDelayed[cfg.SensorIndex],
+				CurrentFreq: freq,
+			}))
+		}
+	}
+	sum := 0.0
+	for _, f := range res.Freqs {
+		sum += f
+		if s := res.Severity[len(res.Severity)-1]; s > res.PeakSeverity {
+			res.PeakSeverity = s
+		}
+	}
+	res.AvgFreq = sum / float64(len(res.Freqs))
+	peak := 0.0
+	for _, s := range res.Severity {
+		peak = math.Max(peak, s)
+	}
+	res.PeakSeverity = peak
+	return res, nil
+}

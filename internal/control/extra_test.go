@@ -1,0 +1,86 @@
+package control
+
+import (
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// rogueController returns illegal frequencies to verify the loop clamps.
+type rogueController struct{}
+
+func (rogueController) Name() string               { return "rogue" }
+func (rogueController) Reset()                     {}
+func (rogueController) Decide(Observation) float64 { return 99.0 }
+
+func TestRunLoopClampsRogueFrequencies(t *testing.T) {
+	p := fastSim(t)
+	w, _ := workload.ByName("mcf")
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 36
+	res, err := RunLoop(p, w, rogueController{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Freqs {
+		if f > 5.0 || f < 2.0 {
+			t.Fatalf("loop ran at illegal frequency %v", f)
+		}
+	}
+}
+
+// downController always steps down, to verify the lower clamp.
+type downController struct{}
+
+func (downController) Name() string               { return "down" }
+func (downController) Reset()                     {}
+func (downController) Decide(Observation) float64 { return -1 }
+
+func TestRunLoopClampsLowerBound(t *testing.T) {
+	p := fastSim(t)
+	w, _ := workload.ByName("mcf")
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 36
+	res, err := RunLoop(p, w, downController{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Freqs[len(res.Freqs)-1]
+	if last != 2.0 {
+		t.Fatalf("loop should bottom out at 2.0 GHz, got %v", last)
+	}
+}
+
+func TestRunLoopSensorIndexOutOfRange(t *testing.T) {
+	p := fastSim(t)
+	w, _ := workload.ByName("mcf")
+	cfg := DefaultLoopConfig()
+	cfg.SensorIndex = 99
+	if _, err := RunLoop(p, w, rogueController{}, cfg); err == nil {
+		t.Fatal("expected sensor-index error")
+	}
+}
+
+func TestLoopResultSeverityTrace(t *testing.T) {
+	p := fastSim(t)
+	w, _ := workload.ByName("calculix")
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 48
+	res, err := RunLoop(p, w, &FixedController{ControllerName: "x", Frequency: 4.0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Severity) != 48 || len(res.SensorTemp) != 48 {
+		t.Fatal("trace arrays truncated")
+	}
+	// Peak severity must equal the max of the trace.
+	peak := 0.0
+	for _, s := range res.Severity {
+		if s > peak {
+			peak = s
+		}
+	}
+	if res.PeakSeverity != peak {
+		t.Fatalf("PeakSeverity %v != trace max %v", res.PeakSeverity, peak)
+	}
+}

@@ -1,0 +1,80 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/sim"
+)
+
+// OracleTable is the §III-B upper bound: for every workload, the most
+// performant frequency whose peak ground-truth severity stays below 1.0
+// over the full trace. It is built from exhaustive static sweeps with
+// perfect knowledge, which no real controller has.
+type OracleTable struct {
+	// Best[w] is the oracle frequency in GHz.
+	Best map[string]float64
+	// Peak[w][f] is the peak severity of workload w at frequency f
+	// (the data behind Fig 2).
+	Peak map[string]map[float64]float64
+}
+
+// BuildOracle sweeps every workload over every frequency.
+func BuildOracle(p *sim.Pipeline, workloads []string, freqs []float64, steps int) (*OracleTable, error) {
+	if len(workloads) == 0 || len(freqs) == 0 {
+		return nil, fmt.Errorf("control: empty workload or frequency list")
+	}
+	t := &OracleTable{
+		Best: make(map[string]float64, len(workloads)),
+		Peak: make(map[string]map[float64]float64, len(workloads)),
+	}
+	for _, name := range workloads {
+		t.Peak[name] = make(map[float64]float64, len(freqs))
+		best := math.Inf(-1)
+		for _, f := range freqs {
+			trace, err := p.RunStatic(name, f, steps)
+			if err != nil {
+				return nil, err
+			}
+			peak := sim.PeakSeverity(trace)
+			t.Peak[name][f] = peak
+			if peak < 1.0 && f > best {
+				best = f
+			}
+		}
+		if math.IsInf(best, -1) {
+			return nil, fmt.Errorf("control: workload %s has no safe frequency", name)
+		}
+		t.Best[name] = best
+	}
+	return t, nil
+}
+
+// GlobalLimit returns the highest frequency safe for every workload in
+// the table (the §III-C global VF limit; 3.75 GHz in the paper).
+func (t *OracleTable) GlobalLimit(freqs []float64) float64 {
+	best := math.Inf(-1)
+	for _, f := range freqs {
+		safe := true
+		for w := range t.Peak {
+			if t.Peak[w][f] >= 1.0 {
+				safe = false
+				break
+			}
+		}
+		if safe && f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// OracleController returns a fixed controller pinned to the workload's
+// oracle frequency.
+func (t *OracleTable) OracleController(workload string) (*FixedController, error) {
+	f, ok := t.Best[workload]
+	if !ok {
+		return nil, fmt.Errorf("control: no oracle entry for %q", workload)
+	}
+	return &FixedController{ControllerName: "Oracle", Frequency: f}, nil
+}

@@ -1,0 +1,154 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// CriticalTemps is the thermal-threshold table of §III-D: for each
+// operating frequency, the lowest sensor temperature at which the chip's
+// ground-truth Hotspot-Severity was observed to reach 1.0. A frequency
+// with no observed incursion has threshold +Inf (always safe).
+type CriticalTemps struct {
+	// PerWorkload[w][f] is the application-specific critical temperature.
+	PerWorkload map[string]map[float64]float64
+	// Global[f] is the min over workloads: the deployable table, since a
+	// real controller does not know which workload is running.
+	Global map[float64]float64
+}
+
+// BuildCriticalTemps runs fixed-frequency sweeps of the given workloads
+// and extracts critical temperatures from what the delayed sensor
+// reports, exactly as a calibration lab would: the threshold accounts for
+// sensor placement *and* delay, which is why fast-spiking workloads
+// produce brutally low thresholds at high frequency.
+func BuildCriticalTemps(p *sim.Pipeline, workloads []string, freqs []float64, steps, sensorIndex int) (*CriticalTemps, error) {
+	if len(workloads) == 0 || len(freqs) == 0 {
+		return nil, fmt.Errorf("control: empty workload or frequency list")
+	}
+	if sensorIndex < 0 || sensorIndex >= p.NumSensors() {
+		return nil, fmt.Errorf("control: sensor index %d out of range", sensorIndex)
+	}
+	ct := &CriticalTemps{
+		PerWorkload: make(map[string]map[float64]float64, len(workloads)),
+		Global:      make(map[float64]float64, len(freqs)),
+	}
+	for _, f := range freqs {
+		ct.Global[f] = math.Inf(1)
+	}
+	for _, name := range workloads {
+		ct.PerWorkload[name] = make(map[float64]float64, len(freqs))
+		for _, f := range freqs {
+			trace, err := p.RunStatic(name, f, steps)
+			if err != nil {
+				return nil, err
+			}
+			crit := math.Inf(1)
+			for i := range trace {
+				if trace[i].Severity.Max >= 1.0 {
+					if t := trace[i].SensorDelayed[sensorIndex]; t < crit {
+						crit = t
+					}
+				}
+			}
+			ct.PerWorkload[name][f] = crit
+			if crit < ct.Global[f] {
+				ct.Global[f] = crit
+			}
+		}
+	}
+	return ct, nil
+}
+
+// GlobalAt returns the global critical temperature for frequency f
+// (+Inf if the table has no entry, i.e. the frequency never misbehaved).
+func (ct *CriticalTemps) GlobalAt(f float64) float64 {
+	if v, ok := ct.Global[f]; ok {
+		return v
+	}
+	return math.Inf(1)
+}
+
+// ThermalController is the TH-xx family: a reactive controller that
+// compares the delayed sensor reading against the critical-temperature
+// table. Relax raises every threshold by the given number of degrees
+// (TH-00: 0, TH-05: +5, TH-10: +10) - more aggressive, and as Fig 4 shows,
+// unsafe for spiky workloads.
+type ThermalController struct {
+	Table *CriticalTemps
+	// Relax is the threshold relaxation in degrees Celsius.
+	Relax float64
+	// Headroom is the safety margin (C) required below a frequency's
+	// threshold before the controller will move up to it.
+	Headroom float64
+	// Margin is the guardband (C) subtracted from every threshold. TH-00
+	// is defined by the paper as "trained on a threshold that is safe for
+	// all workloads in the training set"; CalibrateThermalMargin finds the
+	// smallest margin with that property.
+	Margin float64
+}
+
+// NewThermalController builds a TH controller with the paper's naming.
+func NewThermalController(table *CriticalTemps, relax float64) *ThermalController {
+	return &ThermalController{Table: table, Relax: relax, Headroom: 2}
+}
+
+// Name implements Controller ("TH-00", "TH-05", "TH-10").
+func (c *ThermalController) Name() string { return fmt.Sprintf("TH-%02.0f", c.Relax) }
+
+// Reset implements Controller.
+func (c *ThermalController) Reset() {}
+
+// Decide implements Controller: throttle if the sensor is at or above the
+// current frequency's (relaxed) threshold, otherwise climb if the sensor
+// is comfortably below the next frequency's threshold.
+func (c *ThermalController) Decide(obs Observation) float64 {
+	cur := obs.CurrentFreq
+	if obs.SensorTemp >= c.Table.GlobalAt(cur)+c.Relax-c.Margin {
+		return cur - power.FrequencyStepGHz
+	}
+	next := cur + power.FrequencyStepGHz
+	if next <= power.MaxFrequencyGHz+1e-9 &&
+		obs.SensorTemp < c.Table.GlobalAt(next)+c.Relax-c.Margin-c.Headroom {
+		return next
+	}
+	return cur
+}
+
+// CalibrateThermalMargin finds the smallest integer margin (degrees C,
+// up to maxMargin) at which a zero-relaxation thermal controller runs
+// every calibration workload with no hotspot incursions, and returns the
+// calibrated TH-00 controller. This is the paper's construction of TH-00:
+// a threshold safe for all workloads in the training set.
+func CalibrateThermalMargin(p *sim.Pipeline, table *CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64) (*ThermalController, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("control: no calibration workloads")
+	}
+	for margin := 0.0; margin <= maxMargin; margin++ {
+		ctrl := NewThermalController(table, 0)
+		ctrl.Margin = margin
+		safe := true
+		for _, name := range workloads {
+			w, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunLoop(p, w, ctrl, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.Incursions > 0 {
+				safe = false
+				break
+			}
+		}
+		if safe {
+			return ctrl, nil
+		}
+	}
+	return nil, fmt.Errorf("control: no safe thermal margin up to %g C", maxMargin)
+}

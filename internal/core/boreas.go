@@ -1,0 +1,166 @@
+// Package core implements Boreas itself: a gradient-boosted-tree
+// severity predictor trained on hardware telemetry, and the guardbanded
+// DVFS controller that uses it (Fig 3 of the paper).
+//
+// Every 960 us the controller receives the last interval's performance
+// counters and one delayed thermal-sensor reading, asks the model for the
+// maximum Hotspot-Severity expected over the next interval, and moves the
+// frequency one 250 MHz step down (prediction above threshold), up (the
+// what-if prediction at the next step stays below threshold) or holds.
+// The threshold is 1.0 minus a guardband: ML00/ML05/ML10 in the paper.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hotgauge/boreas/internal/arch"
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/telemetry"
+)
+
+// Predictor wraps a trained GBT model with the feature plumbing needed at
+// controller time: extraction from raw counters and the what-if transform
+// for evaluating a hypothetical higher frequency.
+type Predictor struct {
+	model *gbt.Model
+	// cols[i] is the index into the full 78-feature vector for model
+	// feature i.
+	cols []int
+	// scalable[i] marks model features that scale with frequency
+	// (cycle and event counts); rates, duty cycles, temperatures and
+	// fractions are frequency-invariant.
+	scalable []bool
+	// freqCol and voltCol are the model-feature positions of the
+	// operating-point features, or -1 when the model does not use them.
+	freqCol, voltCol int
+}
+
+// NewPredictor binds a trained model to the telemetry schema. The model's
+// FeatureNames must all exist in the full feature vocabulary.
+func NewPredictor(model *gbt.Model) (*Predictor, error) {
+	if model == nil || len(model.Trees) == 0 {
+		return nil, fmt.Errorf("core: empty model")
+	}
+	p := &Predictor{model: model, freqCol: -1, voltCol: -1}
+	for i, name := range model.FeatureNames {
+		col, err := telemetry.FeatureIndex(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: model feature %q not in telemetry schema", name)
+		}
+		p.cols = append(p.cols, col)
+		p.scalable = append(p.scalable, isCountFeature(name))
+		switch name {
+		case telemetry.FreqFeature:
+			p.freqCol = i
+		case "voltage":
+			p.voltCol = i
+		}
+	}
+	return p, nil
+}
+
+// isCountFeature reports whether a feature is a per-interval event count,
+// which scales roughly with frequency when the same phase re-runs at a
+// different operating point.
+func isCountFeature(name string) bool {
+	switch name {
+	case telemetry.SensorFeature, telemetry.FreqFeature, "voltage", "effective_fp_width",
+		"ipc", "cpi":
+		return false
+	}
+	for _, suffix := range []string{"_duty_cycle", "_rate", "_fraction", "_mpki", "_ratio", "_per_cycle"} {
+		if strings.HasSuffix(name, suffix) {
+			return false
+		}
+	}
+	return true
+}
+
+// Model returns the underlying GBT ensemble.
+func (p *Predictor) Model() *gbt.Model { return p.model }
+
+// features builds the model's input row from raw telemetry.
+func (p *Predictor) features(k arch.Counters, sensorTemp float64) []float64 {
+	full := telemetry.Extract(k, sensorTemp)
+	row := make([]float64, len(p.cols))
+	for i, c := range p.cols {
+		row[i] = full[c]
+	}
+	return row
+}
+
+// Predict returns the predicted max severity over the next interval if
+// the system keeps running at its current frequency.
+func (p *Predictor) Predict(k arch.Counters, sensorTemp float64) float64 {
+	return p.model.Predict(p.features(k, sensorTemp))
+}
+
+// PredictAt returns the what-if prediction for running the next interval
+// at newFreq instead of the frequency the counters were collected at:
+// count features are scaled by the frequency ratio (the behaviour of the
+// same phase at a different clock), rates and the sensor reading are
+// carried over, and the operating-point features are rewritten.
+func (p *Predictor) PredictAt(k arch.Counters, sensorTemp, newFreq float64) float64 {
+	row := p.features(k, sensorTemp)
+	if k.FrequencyGHz > 0 && newFreq != k.FrequencyGHz {
+		ratio := newFreq / k.FrequencyGHz
+		for i, s := range p.scalable {
+			if s {
+				row[i] *= ratio
+			}
+		}
+	}
+	if p.freqCol >= 0 {
+		row[p.freqCol] = newFreq
+	}
+	if p.voltCol >= 0 {
+		row[p.voltCol] = power.VoltageFor(newFreq)
+	}
+	return p.model.Predict(row)
+}
+
+// Controller is the Boreas frequency controller (§V-A): predict severity,
+// compare against 1.0 minus the guardband, and step the frequency.
+type Controller struct {
+	Pred *Predictor
+	// Guardband is the fractional safety margin: 0 (ML00), 0.05 (ML05),
+	// 0.10 (ML10). The decision threshold is 1 - Guardband.
+	Guardband float64
+}
+
+// NewController builds an ML-xx controller.
+func NewController(pred *Predictor, guardband float64) (*Controller, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("core: nil predictor")
+	}
+	if guardband < 0 || guardband >= 1 {
+		return nil, fmt.Errorf("core: guardband %g outside [0,1)", guardband)
+	}
+	return &Controller{Pred: pred, Guardband: guardband}, nil
+}
+
+// Name implements control.Controller ("ML00", "ML05", "ML10").
+func (c *Controller) Name() string { return fmt.Sprintf("ML%02.0f", c.Guardband*100) }
+
+// Reset implements control.Controller.
+func (c *Controller) Reset() {}
+
+// Decide implements control.Controller.
+func (c *Controller) Decide(obs control.Observation) float64 {
+	threshold := 1.0 - c.Guardband
+	cur := obs.CurrentFreq
+	if c.Pred.Predict(obs.Counters, obs.SensorTemp) >= threshold {
+		return cur - power.FrequencyStepGHz
+	}
+	next := cur + power.FrequencyStepGHz
+	if next <= power.MaxFrequencyGHz+1e-9 &&
+		c.Pred.PredictAt(obs.Counters, obs.SensorTemp, next) < threshold {
+		return next
+	}
+	return cur
+}
+
+var _ control.Controller = (*Controller)(nil)

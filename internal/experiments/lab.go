@@ -1,0 +1,267 @@
+// Package experiments implements one generator per table and figure of
+// the Boreas paper's evaluation. Each generator returns a structured
+// result (for tests and benches) plus a text rendering (for the CLI), and
+// they share a Lab that lazily builds and caches the expensive artefacts:
+// the static-sweep oracle, the critical-temperature table, the training
+// and test datasets, and the trained Boreas predictor.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/core"
+	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/telemetry"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// Config scales the experiment campaign.
+type Config struct {
+	// Sim is the pipeline configuration shared by all experiments.
+	Sim sim.Config
+	// Frequencies swept (the 13 paper points by default).
+	Frequencies []float64
+	// StepsPerRun is the trace length (150 = 12 ms).
+	StepsPerRun int
+	// Horizon is the label horizon for datasets.
+	Horizon int
+	// WalksPerWorkload sizes the frequency-walk augmentation.
+	WalksPerWorkload int
+	// SensorIndex is the controller/telemetry sensor.
+	SensorIndex int
+	// TrainNames and TestNames are the Table III sets.
+	TrainNames, TestNames []string
+}
+
+// DefaultConfig reproduces the paper-scale campaign (minutes of CPU).
+func DefaultConfig() Config {
+	return Config{
+		Sim:              sim.DefaultConfig(),
+		Frequencies:      power.FrequencySteps(),
+		StepsPerRun:      150,
+		Horizon:          36,
+		WalksPerWorkload: 5,
+		SensorIndex:      sim.DefaultSensorIndex,
+		TrainNames:       workload.TrainNames,
+		TestNames:        workload.TestNames,
+	}
+}
+
+// QuickConfig is a reduced campaign for tests and fast iteration: coarser
+// grid, fewer frequencies, shorter runs.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sim.Thermal.NX, cfg.Sim.Thermal.NY = 24, 18
+	cfg.Sim.Core.SampleAccesses = 512
+	cfg.Sim.Core.SampleBranches = 256
+	cfg.Sim.WarmStartProbeSteps = 5
+	cfg.Frequencies = []float64{3.0, 3.5, 3.75, 4.0, 4.25, 4.5, 4.75}
+	cfg.StepsPerRun = 72
+	cfg.Horizon = 24
+	cfg.WalksPerWorkload = 2
+	cfg.TrainNames = []string{"calculix", "gromacs", "povray", "perlbench", "mcf", "lbm", "tonto", "sjeng"}
+	cfg.TestNames = []string{"gamess", "hmmer", "bzip2"}
+	return cfg
+}
+
+// Lab owns the shared artefacts. Not safe for concurrent use.
+type Lab struct {
+	cfg Config
+
+	pipeline  *sim.Pipeline
+	oracle    *control.OracleTable
+	critTemps *control.CriticalTemps
+	trainData *telemetry.Dataset
+	testData  *telemetry.Dataset
+	predictor *core.Predictor
+	fullModel *gbt.Model // trained on all 78 features (Table IV study)
+	th00      *control.ThermalController
+}
+
+// NewLab validates the configuration and builds the pipeline.
+func NewLab(cfg Config) (*Lab, error) {
+	if len(cfg.Frequencies) == 0 || cfg.StepsPerRun <= 0 {
+		return nil, fmt.Errorf("experiments: empty frequency list or steps")
+	}
+	if len(cfg.TrainNames) == 0 || len(cfg.TestNames) == 0 {
+		return nil, fmt.Errorf("experiments: empty train/test sets")
+	}
+	p, err := sim.New(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{cfg: cfg, pipeline: p}, nil
+}
+
+// Config returns the lab configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Pipeline returns the shared pipeline.
+func (l *Lab) Pipeline() *sim.Pipeline { return l.pipeline }
+
+// Oracle lazily builds the static-sweep oracle over all 27 workloads.
+func (l *Lab) Oracle() (*control.OracleTable, error) {
+	if l.oracle != nil {
+		return l.oracle, nil
+	}
+	all := append(append([]string{}, l.cfg.TrainNames...), l.cfg.TestNames...)
+	ot, err := control.BuildOracle(l.pipeline, all, l.cfg.Frequencies, l.cfg.StepsPerRun)
+	if err != nil {
+		return nil, err
+	}
+	l.oracle = ot
+	return ot, nil
+}
+
+// CriticalTemps lazily builds the training-set threshold table.
+func (l *Lab) CriticalTemps() (*control.CriticalTemps, error) {
+	if l.critTemps != nil {
+		return l.critTemps, nil
+	}
+	ct, err := control.BuildCriticalTemps(l.pipeline, l.cfg.TrainNames,
+		l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.SensorIndex)
+	if err != nil {
+		return nil, err
+	}
+	l.critTemps = ct
+	return ct, nil
+}
+
+// TH00 lazily calibrates the safe thermal controller on the training set.
+func (l *Lab) TH00() (*control.ThermalController, error) {
+	if l.th00 != nil {
+		return l.th00, nil
+	}
+	ct, err := l.CriticalTemps()
+	if err != nil {
+		return nil, err
+	}
+	lc := l.loopConfig()
+	th, err := control.CalibrateThermalMargin(l.pipeline, ct, l.cfg.TrainNames, lc, 30)
+	if err != nil {
+		return nil, err
+	}
+	l.th00 = th
+	return th, nil
+}
+
+// THRelaxed returns a TH-xx controller sharing TH-00's calibration.
+func (l *Lab) THRelaxed(relax float64) (*control.ThermalController, error) {
+	base, err := l.TH00()
+	if err != nil {
+		return nil, err
+	}
+	c := control.NewThermalController(base.Table, relax)
+	c.Margin = base.Margin
+	c.Headroom = base.Headroom
+	return c, nil
+}
+
+func (l *Lab) loopConfig() control.LoopConfig {
+	lc := control.DefaultLoopConfig()
+	lc.Steps = l.cfg.StepsPerRun
+	lc.SensorIndex = l.cfg.SensorIndex
+	return lc
+}
+
+// TrainingData lazily builds the static + frequency-walk training dataset.
+func (l *Lab) TrainingData() (*telemetry.Dataset, error) {
+	if l.trainData != nil {
+		return l.trainData, nil
+	}
+	bc := telemetry.DefaultBuildConfig(l.cfg.TrainNames, l.cfg.Frequencies)
+	bc.Sim = l.cfg.Sim
+	bc.StepsPerRun = l.cfg.StepsPerRun
+	bc.Horizon = l.cfg.Horizon
+	bc.SensorIndex = l.cfg.SensorIndex
+	ds, err := telemetry.Build(bc)
+	if err != nil {
+		return nil, err
+	}
+	wc := telemetry.DefaultWalkConfig(l.cfg.TrainNames, l.cfg.Frequencies)
+	wc.Sim = l.cfg.Sim
+	wc.Horizon = min(l.cfg.Horizon, wc.HoldSteps-1)
+	wc.WalksPerWorkload = l.cfg.WalksPerWorkload
+	wc.SensorIndex = l.cfg.SensorIndex
+	dsw, err := telemetry.BuildWalk(wc)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Merge(dsw); err != nil {
+		return nil, err
+	}
+	l.trainData = ds
+	return ds, nil
+}
+
+// TestData lazily builds the test-set dataset (static runs only).
+func (l *Lab) TestData() (*telemetry.Dataset, error) {
+	if l.testData != nil {
+		return l.testData, nil
+	}
+	bc := telemetry.DefaultBuildConfig(l.cfg.TestNames, l.cfg.Frequencies)
+	bc.Sim = l.cfg.Sim
+	bc.StepsPerRun = l.cfg.StepsPerRun
+	bc.Horizon = l.cfg.Horizon
+	bc.SensorIndex = l.cfg.SensorIndex
+	ds, err := telemetry.Build(bc)
+	if err != nil {
+		return nil, err
+	}
+	l.testData = ds
+	return ds, nil
+}
+
+// Predictor lazily trains the Boreas model (Table II configuration).
+func (l *Lab) Predictor() (*core.Predictor, error) {
+	if l.predictor != nil {
+		return l.predictor, nil
+	}
+	ds, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := core.Train(ds, core.DefaultTrainConfig())
+	if err != nil {
+		return nil, err
+	}
+	l.predictor = pred
+	return pred, nil
+}
+
+// FullModel lazily trains a GBT on all 78 features (the starting point of
+// the Table IV feature-selection study).
+func (l *Lab) FullModel() (*gbt.Model, error) {
+	if l.fullModel != nil {
+		return l.fullModel, nil
+	}
+	ds, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	m, err := gbt.Train(ds.X, ds.Y, ds.FeatureNames, gbt.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	l.fullModel = m
+	return m, nil
+}
+
+// MLController builds an ML-xx controller from the lab's predictor.
+func (l *Lab) MLController(guardband float64) (*core.Controller, error) {
+	pred, err := l.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewController(pred, guardband)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/telemetry"
+)
+
+// TableIIResult reports the Boreas model parameters and dataset sizes.
+type TableIIResult struct {
+	TrainInstances int
+	TestInstances  int
+	NumFeatures    int
+	Params         gbt.Params
+	TrainMSE       float64
+	TestMSE        float64
+}
+
+// TableIIModel trains the paper-configuration model and reports it.
+func TableIIModel(l *Lab) (*TableIIResult, error) {
+	train, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	test, err := l.TestData()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := l.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	trainMSE, err := pred.Evaluate(train)
+	if err != nil {
+		return nil, err
+	}
+	testMSE, err := pred.Evaluate(test)
+	if err != nil {
+		return nil, err
+	}
+	return &TableIIResult{
+		TrainInstances: train.Len(),
+		TestInstances:  test.Len(),
+		NumFeatures:    len(pred.Model().FeatureNames),
+		Params:         pred.Model().Params,
+		TrainMSE:       trainMSE,
+		TestMSE:        testMSE,
+	}, nil
+}
+
+// Render formats the table.
+func (r *TableIIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II: Boreas model parameters\n")
+	fmt.Fprintf(&b, "  dataset: %d train + %d test instances, %d features\n",
+		r.TrainInstances, r.TestInstances, r.NumFeatures)
+	fmt.Fprintf(&b, "  hyperparameters: alpha=%.2g gamma=%.2g max_depth=%d n_estimators=%d\n",
+		r.Params.LearningRate, r.Params.Gamma, r.Params.MaxDepth, r.Params.NumTrees)
+	fmt.Fprintf(&b, "  MSE: train %.5f, test %.5f (paper reports 0.0094)\n", r.TrainMSE, r.TestMSE)
+	return b.String()
+}
+
+// TableIVResult is the feature-importance study.
+type TableIVResult struct {
+	// Ranked features of the 78-feature model by normalised gain.
+	Ranked []gbt.RankedFeature
+	// Top20CumulativeGain is the gain captured by the top 20 features
+	// (paper: 99%).
+	Top20CumulativeGain float64
+	// SensorGain is the sensor feature's share (paper: 78%).
+	SensorGain float64
+	// Top20MSE and FullMSE compare models trained on the top-20 vs all 78
+	// features on the test set (paper: no accuracy loss).
+	Top20MSE, FullMSE float64
+}
+
+// TableIVFeatureImportance runs the selection study: train on all 78
+// features, rank by gain, retrain on the top 20, compare test error.
+func TableIVFeatureImportance(l *Lab) (*TableIVResult, error) {
+	full, err := l.FullModel()
+	if err != nil {
+		return nil, err
+	}
+	test, err := l.TestData()
+	if err != nil {
+		return nil, err
+	}
+	train, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TableIVResult{
+		Ranked:              full.RankedImportance(),
+		Top20CumulativeGain: full.CumulativeGain(20),
+		SensorGain:          full.Importance()[telemetry.SensorFeature],
+		FullMSE:             full.MSE(mustSelect(test, full.FeatureNames).X, test.Y),
+	}
+
+	top20 := full.TopFeatures(20)
+	selTrain, err := train.Select(top20)
+	if err != nil {
+		return nil, err
+	}
+	m20, err := gbt.Train(selTrain.X, selTrain.Y, selTrain.FeatureNames, gbt.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	selTest, err := test.Select(top20)
+	if err != nil {
+		return nil, err
+	}
+	res.Top20MSE = m20.MSE(selTest.X, selTest.Y)
+	return res, nil
+}
+
+func mustSelect(ds *telemetry.Dataset, names []string) *telemetry.Dataset {
+	out, err := ds.Select(names)
+	if err != nil {
+		panic("experiments: schema mismatch: " + err.Error())
+	}
+	return out
+}
+
+// Render formats the top-20 list.
+func (r *TableIVResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IV: top attributes by normalised gain\n")
+	for i, rf := range r.Ranked {
+		if i >= 20 {
+			break
+		}
+		fmt.Fprintf(&b, "  %2d. %-28s %5.1f%%\n", i+1, rf.Name, 100*rf.Gain)
+	}
+	fmt.Fprintf(&b, "  top-20 cumulative gain: %.1f%% (paper: 99%%)\n", 100*r.Top20CumulativeGain)
+	fmt.Fprintf(&b, "  sensor share: %.1f%% (paper: 78%%)\n", 100*r.SensorGain)
+	fmt.Fprintf(&b, "  test MSE: top-20 %.5f vs all-78 %.5f\n", r.Top20MSE, r.FullMSE)
+	return b.String()
+}
+
+// Fig9Point is one model in the size/accuracy trade-off sweep.
+type Fig9Point struct {
+	Params    gbt.Params
+	SizeBytes int
+	// CVMSE is the leave-one-application-out mean MSE.
+	CVMSE float64
+	CVStd float64
+}
+
+// Fig9Result is the MSE-vs-size curve.
+type Fig9Result struct {
+	Points []Fig9Point
+	// BestIndex is the chosen (smallest accurate) model.
+	BestIndex int
+}
+
+// fig9MaxInstances caps the cross-validation workload: the grid retrains
+// hundreds of models, so the dataset is subsampled with a deterministic
+// stride (which preserves the per-workload composition of trace data).
+const fig9MaxInstances = 9000
+
+// Fig9MSEvsSize sweeps model sizes with grid-searched cross-validation,
+// reproducing the under/overfit curve. The grid spans tiny stumps to
+// oversized ensembles.
+func Fig9MSEvsSize(l *Lab, grid []gbt.Params) (*Fig9Result, error) {
+	if len(grid) == 0 {
+		grid = DefaultFig9Grid()
+	}
+	ds, err := l.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := ds.Select(telemetry.TableIVFeatureNames())
+	if err != nil {
+		return nil, err
+	}
+	if sel.Len() > fig9MaxInstances {
+		stride := (sel.Len() + fig9MaxInstances - 1) / fig9MaxInstances
+		sub := telemetry.NewDataset(sel.FeatureNames)
+		for i := 0; i < sel.Len(); i += stride {
+			if err := sub.Add(sel.X[i], sel.Y[i], sel.Workloads[i]); err != nil {
+				return nil, err
+			}
+		}
+		sel = sub
+	}
+	res := &Fig9Result{}
+	bestMSE := -1.0
+	for _, p := range grid {
+		cv, err := gbt.LeaveOneGroupOut(sel.X, sel.Y, sel.Workloads, sel.FeatureNames, p)
+		if err != nil {
+			return nil, err
+		}
+		m := &gbt.Model{Params: p, Trees: make([]gbt.Tree, p.NumTrees)}
+		pt := Fig9Point{Params: p, SizeBytes: m.WeightBytes(), CVMSE: cv.MeanMSE, CVStd: cv.StdMSE}
+		res.Points = append(res.Points, pt)
+		if bestMSE < 0 || cv.MeanMSE < bestMSE {
+			bestMSE = cv.MeanMSE
+			res.BestIndex = len(res.Points) - 1
+		}
+	}
+	return res, nil
+}
+
+// DefaultFig9Grid spans two orders of magnitude of model size around the
+// paper's chosen point (223 trees x depth 3 = ~13 KB).
+func DefaultFig9Grid() []gbt.Params {
+	base := gbt.DefaultParams()
+	var grid []gbt.Params
+	for _, cfg := range []struct {
+		trees, depth int
+	}{
+		{2, 1}, {5, 2}, {15, 2}, {40, 2},
+		{40, 3}, {100, 3}, {223, 3}, {400, 3},
+		{400, 5}, {600, 6},
+	} {
+		p := base
+		p.NumTrees = cfg.trees
+		p.MaxDepth = cfg.depth
+		grid = append(grid, p)
+	}
+	return grid
+}
+
+// Render formats the curve.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 9: cross-validated MSE vs model size\n")
+	for i, p := range r.Points {
+		mark := " "
+		if i == r.BestIndex {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s %3d trees x depth %d: %7d B  MSE %.5f +- %.5f\n",
+			mark, p.Params.NumTrees, p.Params.MaxDepth, p.SizeBytes, p.CVMSE, p.CVStd)
+	}
+	return b.String()
+}
+
+// OverheadResult reproduces §V-E: hardware cost of the deployed model.
+type OverheadResult struct {
+	WeightBytes int
+	Comparisons int
+	Adds        int
+	TotalOps    int
+}
+
+// Overhead reports the deployed model's cost.
+func Overhead(l *Lab) (*OverheadResult, error) {
+	pred, err := l.Predictor()
+	if err != nil {
+		return nil, err
+	}
+	cmp, adds := pred.Model().PredictionOps()
+	return &OverheadResult{
+		WeightBytes: pred.Model().WeightBytes(),
+		Comparisons: cmp,
+		Adds:        adds,
+		TotalOps:    cmp + adds,
+	}, nil
+}
+
+// Render formats the overhead report.
+func (r *OverheadResult) Render() string {
+	return fmt.Sprintf("Overhead (paper §V-E): %d B weights (<14 KB), %d comparisons + %d adds = %d ops per prediction\n",
+		r.WeightBytes, r.Comparisons, r.Adds, r.TotalOps)
+}

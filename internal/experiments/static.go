@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/telemetry"
+)
+
+// TableIResult reproduces Table I: the VF operating points.
+type TableIResult struct {
+	Points []power.VFPoint
+}
+
+// TableI returns the published VF pairs.
+func TableI() TableIResult {
+	return TableIResult{Points: append([]power.VFPoint(nil), power.TableI...)}
+}
+
+// Render formats the table.
+func (r TableIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I: VF pairs for the modelled 7nm processor\n")
+	b.WriteString("  Voltage [V]:   ")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6.2f", p.Voltage)
+	}
+	b.WriteString("\n  Frequency [GHz]:")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6.1f", p.FrequencyGHz)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Fig1Result is the Hotspot-Severity surface over (T, MLTD).
+type Fig1Result struct {
+	Temps    []float64
+	MLTDs    []float64
+	Severity [][]float64 // [temp][mltd], displayed clamped at 1
+}
+
+// Fig1SeveritySurface sweeps the severity function as in HotGauge Fig 1.
+func Fig1SeveritySurface(params hotspot.SeverityParams) (Fig1Result, error) {
+	if err := params.Validate(); err != nil {
+		return Fig1Result{}, err
+	}
+	res := Fig1Result{}
+	for t := 45.0; t <= 120.0+1e-9; t += 5 {
+		res.Temps = append(res.Temps, t)
+	}
+	for m := 0.0; m <= 45.0+1e-9; m += 5 {
+		res.MLTDs = append(res.MLTDs, m)
+	}
+	for _, t := range res.Temps {
+		row := make([]float64, 0, len(res.MLTDs))
+		for _, m := range res.MLTDs {
+			row = append(row, math.Min(1, params.Severity(t, m)))
+		}
+		res.Severity = append(res.Severity, row)
+	}
+	return res, nil
+}
+
+// AnchorErrors returns |severity-1| at the paper's three anchor points.
+func (r Fig1Result) AnchorErrors(params hotspot.SeverityParams) [3]float64 {
+	return [3]float64{
+		math.Abs(params.Severity(115, 0) - 1),
+		math.Abs(params.Severity(80, 40) - 1),
+		math.Abs(params.Severity(95, 20) - 1),
+	}
+}
+
+// Render formats the surface as a contour-style character map.
+func (r Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 1: Hotspot-Severity over (temperature, MLTD); '#'>=1.0\n")
+	b.WriteString("  T\\MLTD ")
+	for _, m := range r.MLTDs {
+		fmt.Fprintf(&b, "%4.0f", m)
+	}
+	b.WriteString("\n")
+	for i := len(r.Temps) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "  %5.0fC ", r.Temps[i])
+		for j := range r.MLTDs {
+			s := r.Severity[i][j]
+			switch {
+			case s >= 1:
+				b.WriteString("   #")
+			case s >= 0.5:
+				fmt.Fprintf(&b, " %.1f", s)
+			default:
+				b.WriteString("   .")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig2Result is the peak-severity map of every workload at every
+// frequency, plus the derived oracle and global limit.
+type Fig2Result struct {
+	Workloads   []string // sorted by peak severity (the paper's ordering)
+	Frequencies []float64
+	// Peak[w][f] indexed parallel to Workloads/Frequencies.
+	Peak [][]float64
+	// OracleGHz per workload (parallel to Workloads).
+	OracleGHz []float64
+	// GlobalLimitGHz is the highest frequency safe for every workload.
+	GlobalLimitGHz float64
+}
+
+// Fig2StaticSweep runs the full static sweep via the lab's oracle table.
+func Fig2StaticSweep(l *Lab) (*Fig2Result, error) {
+	ot, err := l.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ot.Peak))
+	for n := range ot.Peak {
+		names = append(names, n)
+	}
+	// Order by peak severity at the top frequency, descending (Fig 2 is
+	// sorted by hotspot behaviour).
+	top := l.cfg.Frequencies[len(l.cfg.Frequencies)-1]
+	sort.Slice(names, func(a, b int) bool {
+		pa, pb := peakScore(ot.Peak[names[a]], l.cfg.Frequencies), peakScore(ot.Peak[names[b]], l.cfg.Frequencies)
+		if pa != pb {
+			return pa > pb
+		}
+		return names[a] < names[b]
+	})
+	_ = top
+	res := &Fig2Result{
+		Workloads:      names,
+		Frequencies:    append([]float64(nil), l.cfg.Frequencies...),
+		GlobalLimitGHz: ot.GlobalLimit(l.cfg.Frequencies),
+	}
+	for _, n := range names {
+		row := make([]float64, len(res.Frequencies))
+		for i, f := range res.Frequencies {
+			row[i] = ot.Peak[n][f]
+		}
+		res.Peak = append(res.Peak, row)
+		res.OracleGHz = append(res.OracleGHz, ot.Best[n])
+	}
+	return res, nil
+}
+
+// peakScore summarises a workload's heat for ordering: mean peak severity
+// across frequencies.
+func peakScore(peaks map[float64]float64, freqs []float64) float64 {
+	s := 0.0
+	for _, f := range freqs {
+		s += peaks[f]
+	}
+	return s / float64(len(freqs))
+}
+
+// PeaksByName returns the per-workload peak severities keyed by name, for
+// the Table III split rule.
+func (r *Fig2Result) PeaksByName() map[string]float64 {
+	out := make(map[string]float64, len(r.Workloads))
+	for i, n := range r.Workloads {
+		best := 0.0
+		for _, p := range r.Peak[i] {
+			best = math.Max(best, p)
+		}
+		out[n] = best
+	}
+	return out
+}
+
+// Render formats the sweep as the paper's shaded grid ('X' = unsafe).
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 2: peak Hotspot-Severity per workload and frequency (X = unsafe)\n")
+	b.WriteString(fmt.Sprintf("  global VF limit: %.2f GHz\n", r.GlobalLimitGHz))
+	b.WriteString("  workload    ")
+	for _, f := range r.Frequencies {
+		fmt.Fprintf(&b, "%5.2f", f)
+	}
+	b.WriteString("  oracle\n")
+	for i, n := range r.Workloads {
+		fmt.Fprintf(&b, "  %-12s", n)
+		for _, p := range r.Peak[i] {
+			if p >= 1 {
+				b.WriteString("    X")
+			} else {
+				fmt.Fprintf(&b, " %.2f", p)
+			}
+		}
+		fmt.Fprintf(&b, "  %5.2f\n", r.OracleGHz[i])
+	}
+	return b.String()
+}
+
+// TableIIIResult is the train/test split.
+type TableIIIResult struct {
+	Train, Test []string
+	// RuleTest is what the every-4th-by-severity rule produces on this
+	// repository's severity map (compared against the paper's fixed sets).
+	RuleTest []string
+}
+
+// TableIIISplit reports the canonical split and checks the derivation
+// rule against the measured severity ordering.
+func TableIIISplit(l *Lab) (*TableIIIResult, error) {
+	fig2, err := Fig2StaticSweep(l)
+	if err != nil {
+		return nil, err
+	}
+	_, ruleTest := telemetry.SplitEveryFourth(fig2.PeaksByName())
+	return &TableIIIResult{
+		Train:    append([]string(nil), l.cfg.TrainNames...),
+		Test:     append([]string(nil), l.cfg.TestNames...),
+		RuleTest: ruleTest,
+	}, nil
+}
+
+// Render formats the split.
+func (r *TableIIIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III: train/test workload split\n")
+	fmt.Fprintf(&b, "  train (%d): %s\n", len(r.Train), strings.Join(r.Train, ", "))
+	fmt.Fprintf(&b, "  test  (%d): %s\n", len(r.Test), strings.Join(r.Test, ", "))
+	fmt.Fprintf(&b, "  every-4th-by-severity rule on this build selects: %s\n",
+		strings.Join(r.RuleTest, ", "))
+	return b.String()
+}

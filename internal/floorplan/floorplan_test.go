@@ -1,0 +1,178 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+func TestSkylakeLikeValid(t *testing.T) {
+	fp := SkylakeLike()
+	if got := len(fp.Blocks); got < 20 {
+		t.Fatalf("expected a rich floorplan, got %d blocks", got)
+	}
+}
+
+func TestSkylakeLikeFullCoverage(t *testing.T) {
+	fp := SkylakeLike()
+	if c := fp.Coverage(); math.Abs(c-1.0) > 1e-9 {
+		t.Fatalf("blocks should exactly tile the die, coverage = %v", c)
+	}
+}
+
+func TestSkylakeLikeEveryPointClaimed(t *testing.T) {
+	fp := SkylakeLike()
+	r := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		x := r.Float64() * fp.DieW
+		y := r.Float64() * fp.DieH
+		if fp.BlockAt(x, y) < 0 {
+			t.Fatalf("point (%v, %v) not claimed by any block", x, y)
+		}
+	}
+}
+
+func TestBlockIndexRoundTrip(t *testing.T) {
+	fp := SkylakeLike()
+	for i, b := range fp.Blocks {
+		if got := fp.BlockIndex(b.Name); got != i {
+			t.Fatalf("BlockIndex(%q) = %d, want %d", b.Name, got, i)
+		}
+	}
+	if fp.BlockIndex("nope") != -1 {
+		t.Fatal("BlockIndex of unknown name should be -1")
+	}
+}
+
+func TestUnitBlocksALU(t *testing.T) {
+	fp := SkylakeLike()
+	alus := fp.UnitBlocks(UnitALU)
+	if len(alus) != 4 {
+		t.Fatalf("expected 4 ALU blocks, got %d", len(alus))
+	}
+}
+
+func TestUnitAreaPositiveForAllPlacedUnits(t *testing.T) {
+	fp := SkylakeLike()
+	for u := Unit(0); int(u) < NumUnits; u++ {
+		if len(fp.UnitBlocks(u)) > 0 && fp.UnitArea(u) <= 0 {
+			t.Fatalf("unit %v has blocks but zero area", u)
+		}
+	}
+}
+
+func TestFPUIsHotspotSized(t *testing.T) {
+	// The FPU (AVX) block must be the largest execution-cluster block:
+	// it is the paper's canonical fast-hotspot source.
+	fp := SkylakeLike()
+	fpu := fp.Blocks[fp.BlockIndex("FPU")].Rect.Area()
+	for _, name := range []string{"ALU0", "MUL", "DIV"} {
+		if a := fp.Blocks[fp.BlockIndex(name)].Rect.Area(); a >= fpu {
+			t.Fatalf("FPU area %v should exceed %s area %v", fpu, name, a)
+		}
+	}
+}
+
+func TestNewRejectsOverlap(t *testing.T) {
+	_, err := New(1e-3, 1e-3, []Block{
+		{Name: "a", Rect: Rect{0, 0, 6e-4, 6e-4}},
+		{Name: "b", Rect: Rect{5e-4, 5e-4, 4e-4, 4e-4}},
+	})
+	if err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestNewRejectsOutOfBounds(t *testing.T) {
+	_, err := New(1e-3, 1e-3, []Block{
+		{Name: "a", Rect: Rect{5e-4, 0, 6e-4, 5e-4}},
+	})
+	if err == nil {
+		t.Fatal("expected bounds error")
+	}
+}
+
+func TestNewRejectsDuplicateNames(t *testing.T) {
+	_, err := New(1e-3, 1e-3, []Block{
+		{Name: "a", Rect: Rect{0, 0, 4e-4, 4e-4}},
+		{Name: "a", Rect: Rect{5e-4, 5e-4, 4e-4, 4e-4}},
+	})
+	if err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+}
+
+func TestNewRejectsBadDie(t *testing.T) {
+	if _, err := New(0, 1e-3, nil); err == nil {
+		t.Fatal("expected die-size error")
+	}
+}
+
+func TestNewRejectsEmptyBlock(t *testing.T) {
+	_, err := New(1e-3, 1e-3, []Block{{Name: "a", Rect: Rect{0, 0, 0, 1e-4}}})
+	if err == nil {
+		t.Fatal("expected non-positive-size error")
+	}
+}
+
+func TestRectContainsExclusiveUpperEdge(t *testing.T) {
+	r := Rect{0, 0, 1, 1}
+	if !r.Contains(0, 0) {
+		t.Fatal("lower-left corner should be contained")
+	}
+	if r.Contains(1, 0) || r.Contains(0, 1) {
+		t.Fatal("upper/right edges must be exclusive")
+	}
+}
+
+func TestRectOverlapSymmetric(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 10) }
+		a := Rect{norm(x1), norm(y1), norm(w1) + 0.01, norm(h1) + 0.01}
+		b := Rect{norm(x2), norm(y2), norm(w2) + 0.01, norm(h2) + 0.01}
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectOverlapSelf(t *testing.T) {
+	r := Rect{1, 2, 3, 4}
+	if !r.Overlaps(r) {
+		t.Fatal("rectangle must overlap itself")
+	}
+}
+
+func TestBlockAtFindsEXRow(t *testing.T) {
+	fp := SkylakeLike()
+	// Centre of ALU0: core origin (0.5, 0.5) mm + (0.175, 1.0) mm.
+	i := fp.BlockAt(0.675*mm, 1.5*mm)
+	if i < 0 || fp.Blocks[i].Unit != UnitALU {
+		t.Fatalf("expected ALU at EX-row probe point, got %v", i)
+	}
+}
+
+func TestUnitStrings(t *testing.T) {
+	if UnitFPU.String() != "FPU" {
+		t.Fatalf("UnitFPU.String() = %q", UnitFPU.String())
+	}
+	if Unit(999).String() == "" {
+		t.Fatal("out-of-range unit should still stringify")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	fp := SkylakeLike()
+	names := fp.Names()
+	if len(names) != len(fp.Blocks) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(fp.Blocks))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonFloorplan is the serialised form: dimensions in metres, blocks with
+// unit names rather than enum values so files survive enum reordering.
+type jsonFloorplan struct {
+	DieW   float64     `json:"die_w_m"`
+	DieH   float64     `json:"die_h_m"`
+	Blocks []jsonBlock `json:"blocks"`
+}
+
+type jsonBlock struct {
+	Name string  `json:"name"`
+	Unit string  `json:"unit"`
+	X    float64 `json:"x_m"`
+	Y    float64 `json:"y_m"`
+	W    float64 `json:"w_m"`
+	H    float64 `json:"h_m"`
+}
+
+// WriteJSON serialises the floorplan, enabling custom layouts (e.g. the
+// hotspot-area-scaling studies the paper cites from HotGauge) to be
+// edited outside Go and loaded with ReadJSON.
+func (fp *Floorplan) WriteJSON(w io.Writer) error {
+	out := jsonFloorplan{DieW: fp.DieW, DieH: fp.DieH}
+	for _, b := range fp.Blocks {
+		out.Blocks = append(out.Blocks, jsonBlock{
+			Name: b.Name, Unit: b.Unit.String(),
+			X: b.Rect.X, Y: b.Rect.Y, W: b.Rect.W, H: b.Rect.H,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// unitByName resolves a serialised unit name.
+func unitByName(name string) (Unit, error) {
+	for u := Unit(0); int(u) < NumUnits; u++ {
+		if u.String() == name {
+			return u, nil
+		}
+	}
+	return 0, fmt.Errorf("floorplan: unknown unit %q", name)
+}
+
+// ReadJSON parses and validates a floorplan written by WriteJSON (or
+// authored by hand in the same schema).
+func ReadJSON(r io.Reader) (*Floorplan, error) {
+	var in jsonFloorplan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("floorplan: parsing JSON: %w", err)
+	}
+	blocks := make([]Block, 0, len(in.Blocks))
+	for _, b := range in.Blocks {
+		u, err := unitByName(b.Unit)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, Block{
+			Name: b.Name, Unit: u,
+			Rect: Rect{X: b.X, Y: b.Y, W: b.W, H: b.H},
+		})
+	}
+	return New(in.DieW, in.DieH, blocks)
+}

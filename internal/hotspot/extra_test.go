@@ -1,0 +1,100 @@
+package hotspot
+
+import (
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+func TestSensorArrayAccessors(t *testing.T) {
+	sensors := []Sensor{{Name: "a", Cell: 0}, {Name: "b", Cell: 1}}
+	sa, err := NewSensorArray(sensors, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.DelaySteps() != 4 {
+		t.Fatalf("DelaySteps = %d", sa.DelaySteps())
+	}
+	got := sa.Sensors()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("Sensors() = %+v", got)
+	}
+}
+
+func TestSensorArrayReadBeforeAnyRecord(t *testing.T) {
+	sa, _ := NewSensorArray([]Sensor{{Name: "a", Cell: 0}}, 2)
+	// No Reset, no Record: reads must not panic and return the zero fill.
+	if v := sa.Read(0); v != 0 {
+		t.Fatalf("pre-record read = %v, want 0", v)
+	}
+}
+
+func TestAnalyzerParamsAccessor(t *testing.T) {
+	p := DefaultSeverityParams()
+	a, err := NewAnalyzer(8, 8, 1e-4, 1e-4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params() != p {
+		t.Fatal("Params accessor mismatch")
+	}
+	rx, ry := a.WindowCells()
+	if rx < 1 || ry < 1 {
+		t.Fatalf("window cells %d/%d", rx, ry)
+	}
+}
+
+func TestMLTDNonNegativeProperty(t *testing.T) {
+	// MLTD = T(cell) - min(window) is always >= 0 since the window
+	// contains the cell itself.
+	a, err := NewAnalyzer(16, 12, 83e-6, 83e-6, DefaultSeverityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		grid := make([]float64, 16*12)
+		for i := range grid {
+			grid[i] = 45 + 60*r.Float64()
+		}
+		mltd, err := a.MLTDMap(grid, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range mltd {
+			if v < 0 {
+				t.Fatalf("trial %d: MLTD[%d] = %v < 0", trial, i, v)
+			}
+		}
+	}
+}
+
+func TestAnalyzeMatchesMLTDMap(t *testing.T) {
+	a, err := NewAnalyzer(10, 10, 1e-4, 1e-4, DefaultSeverityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	grid := make([]float64, 100)
+	for i := range grid {
+		grid[i] = 45 + 70*r.Float64()
+	}
+	cs, err := a.Analyze(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mltd, err := a.MLTDMap(grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestIdx := -1.0, -1
+	for i := range grid {
+		if s := a.Params().Severity(grid[i], mltd[i]); s > best {
+			best, bestIdx = s, i
+		}
+	}
+	if cs.Max != best || cs.ArgMax != bestIdx {
+		t.Fatalf("Analyze (%v@%d) disagrees with manual scan (%v@%d)",
+			cs.Max, cs.ArgMax, best, bestIdx)
+	}
+}

@@ -1,0 +1,301 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+func TestSeverityPaperAnchors(t *testing.T) {
+	p := DefaultSeverityParams()
+	// Anchor 1: uniformly hot chip at 115 C.
+	if s := p.Severity(115, 0); math.Abs(s-1.0) > 1e-9 {
+		t.Fatalf("severity(115, 0) = %v, want 1.0", s)
+	}
+	// Anchor 2: advanced hotspot, 80 C with 40 C MLTD.
+	if s := p.Severity(80, 40); math.Abs(s-1.0) > 1e-9 {
+		t.Fatalf("severity(80, 40) = %v, want 1.0", s)
+	}
+	// Anchor 3: 95 C / 20 C is "somewhere between" - near 1.
+	if s := p.Severity(95, 20); s < 0.9 || s > 1.0 {
+		t.Fatalf("severity(95, 20) = %v, want in [0.9, 1.0]", s)
+	}
+}
+
+func TestSeverityClamping(t *testing.T) {
+	p := DefaultSeverityParams()
+	if s := p.Severity(20, 0); s != 0 {
+		t.Fatalf("cool chip severity = %v, want 0", s)
+	}
+	if s := p.Severity(400, 80); s != SeverityCap {
+		t.Fatalf("melting chip severity = %v, want clamp at %v", s, SeverityCap)
+	}
+	if s := p.Severity(100, 20); s <= 1 || s >= SeverityCap {
+		t.Fatalf("past-limit severity should be graded, got %v", s)
+	}
+}
+
+func TestSeverityMonotoneProperty(t *testing.T) {
+	p := DefaultSeverityParams()
+	f := func(t1, m1, dt, dm float64) bool {
+		temp := 40 + math.Mod(math.Abs(t1), 80)
+		mltd := math.Mod(math.Abs(m1), 45)
+		dT := math.Mod(math.Abs(dt), 20)
+		dM := math.Mod(math.Abs(dm), 10)
+		return p.Severity(temp+dT, mltd+dM) >= p.Severity(temp, mltd)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeverityParamsValidate(t *testing.T) {
+	bad := DefaultSeverityParams()
+	bad.TCrit = bad.TBase
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected TCrit error")
+	}
+	bad = DefaultSeverityParams()
+	bad.MLTDWeight = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected weight error")
+	}
+	bad = DefaultSeverityParams()
+	bad.RadiusM = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected radius error")
+	}
+}
+
+func newAnalyzer(t *testing.T, nx, ny int) *Analyzer {
+	t.Helper()
+	a, err := NewAnalyzer(nx, ny, 83e-6, 83e-6, DefaultSeverityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMLTDUniformGridIsZero(t *testing.T) {
+	a := newAnalyzer(t, 16, 12)
+	grid := make([]float64, 16*12)
+	for i := range grid {
+		grid[i] = 85
+	}
+	mltd, err := a.MLTDMap(grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range mltd {
+		if v != 0 {
+			t.Fatalf("uniform grid MLTD[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestMLTDSingleHotCell(t *testing.T) {
+	a := newAnalyzer(t, 16, 12)
+	grid := make([]float64, 16*12)
+	for i := range grid {
+		grid[i] = 60
+	}
+	hot := 6*16 + 8
+	grid[hot] = 95
+	mltd, err := a.MLTDMap(grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mltd[hot]-35) > 1e-9 {
+		t.Fatalf("hot cell MLTD = %v, want 35", mltd[hot])
+	}
+	// A far-away cell sees a flat neighbourhood.
+	if mltd[0] != 0 {
+		t.Fatalf("far cell MLTD = %v, want 0", mltd[0])
+	}
+	// A neighbour of the hot cell is itself cool, so its MLTD stays 0
+	// (min within window equals its own temperature).
+	if mltd[hot+1] != 0 {
+		t.Fatalf("neighbour MLTD = %v, want 0", mltd[hot+1])
+	}
+}
+
+func TestMLTDBruteForceEquivalence(t *testing.T) {
+	// The separable sliding-min must agree with a brute-force window scan.
+	a := newAnalyzer(t, 20, 15)
+	rx, ry := a.WindowCells()
+	r := rng.New(8)
+	grid := make([]float64, 20*15)
+	for i := range grid {
+		grid[i] = 50 + 40*r.Float64()
+	}
+	got, err := a.MLTDMap(grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 15; y++ {
+		for x := 0; x < 20; x++ {
+			min := math.Inf(1)
+			for dy := -ry; dy <= ry; dy++ {
+				for dx := -rx; dx <= rx; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || nx >= 20 || ny < 0 || ny >= 15 {
+						continue
+					}
+					min = math.Min(min, grid[ny*20+nx])
+				}
+			}
+			want := grid[y*20+x] - min
+			if math.Abs(got[y*20+x]-want) > 1e-12 {
+				t.Fatalf("MLTD mismatch at (%d,%d): %v vs brute %v", x, y, got[y*20+x], want)
+			}
+		}
+	}
+}
+
+func TestAnalyzeFindsHotspot(t *testing.T) {
+	a := newAnalyzer(t, 16, 12)
+	grid := make([]float64, 16*12)
+	for i := range grid {
+		grid[i] = 55
+	}
+	hot := 5*16 + 4
+	grid[hot] = 98 // 43 C MLTD at 98 C -> severity 1
+	cs, err := a.Analyze(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.ArgMax != hot {
+		t.Fatalf("ArgMax = %d, want %d", cs.ArgMax, hot)
+	}
+	if cs.Max < 1 {
+		t.Fatalf("Max severity = %v, want >= 1 (immediate danger)", cs.Max)
+	}
+	if cs.MaxTemp != 98 || math.Abs(cs.MaxMLTD-43) > 1e-9 {
+		t.Fatalf("MaxTemp/MaxMLTD = %v/%v", cs.MaxTemp, cs.MaxMLTD)
+	}
+}
+
+func TestAnalyzeHotButUniformVsCoolerSpike(t *testing.T) {
+	// The paper's core claim: a cooler chip with a sharp gradient can be
+	// more severe than a uniformly warmer chip.
+	a := newAnalyzer(t, 16, 12)
+	uniform := make([]float64, 16*12)
+	for i := range uniform {
+		uniform[i] = 95 // severity (95-45)/70 = 0.714
+	}
+	spiky := make([]float64, 16*12)
+	for i := range spiky {
+		spiky[i] = 55
+	}
+	spiky[5*16+8] = 88 // severity (88-45+0.875*33)/70 = 1.0 (clamped)
+
+	su, _ := a.Analyze(uniform)
+	ss, _ := a.Analyze(spiky)
+	if ss.Max <= su.Max {
+		t.Fatalf("spike (%.3f) should out-sever uniform heat (%.3f)", ss.Max, su.Max)
+	}
+	if ss.MaxTemp >= su.MaxTemp {
+		t.Fatal("spiky case must be cooler in absolute terms for this test to mean anything")
+	}
+}
+
+func TestAnalyzerErrors(t *testing.T) {
+	a := newAnalyzer(t, 16, 12)
+	if _, err := a.Analyze(make([]float64, 5)); err == nil {
+		t.Fatal("expected grid-size error")
+	}
+	if _, err := a.MLTDMap(make([]float64, 5), nil); err == nil {
+		t.Fatal("expected grid-size error")
+	}
+	if _, err := a.MLTDMap(make([]float64, 16*12), make([]float64, 3)); err == nil {
+		t.Fatal("expected dst-size error")
+	}
+	if _, err := NewAnalyzer(1, 12, 1e-5, 1e-5, DefaultSeverityParams()); err == nil {
+		t.Fatal("expected geometry error")
+	}
+}
+
+func TestSensorArrayDelay(t *testing.T) {
+	sensors := []Sensor{{Name: "s0", Cell: 0}}
+	sa, err := NewSensorArray(sensors, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Reset(45)
+	grid := []float64{0}
+	for step := 1; step <= 10; step++ {
+		grid[0] = float64(step * 10)
+		if err := sa.Record(grid); err != nil {
+			t.Fatal(err)
+		}
+		want := float64((step - 3) * 10)
+		if step <= 3 {
+			want = 45 // still reading the pre-filled history
+		}
+		if got := sa.Read(0); got != want {
+			t.Fatalf("step %d: delayed read = %v, want %v", step, got, want)
+		}
+		if got := sa.Current(0); got != float64(step*10) {
+			t.Fatalf("step %d: current read = %v", step, got)
+		}
+	}
+}
+
+func TestSensorArrayZeroDelay(t *testing.T) {
+	sa, err := NewSensorArray([]Sensor{{Name: "s0", Cell: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []float64{0, 77}
+	if err := sa.Record(grid); err != nil {
+		t.Fatal(err)
+	}
+	if got := sa.Read(0); got != 77 {
+		t.Fatalf("zero-delay read = %v, want 77", got)
+	}
+}
+
+func TestSensorArrayErrors(t *testing.T) {
+	if _, err := NewSensorArray(nil, 0); err == nil {
+		t.Fatal("expected no-sensors error")
+	}
+	if _, err := NewSensorArray([]Sensor{{}}, -1); err == nil {
+		t.Fatal("expected negative-delay error")
+	}
+	sa, _ := NewSensorArray([]Sensor{{Name: "s0", Cell: 9}}, 0)
+	if err := sa.Record(make([]float64, 3)); err == nil {
+		t.Fatal("expected out-of-grid error")
+	}
+}
+
+func TestPlaceSensorsFindsClusters(t *testing.T) {
+	r := rng.New(5)
+	var sites [][2]float64
+	centres := [][2]float64{{1e-3, 1e-3}, {3e-3, 2e-3}}
+	for _, c := range centres {
+		for i := 0; i < 50; i++ {
+			sites = append(sites, [2]float64{r.Norm(c[0], 5e-5), r.Norm(c[1], 5e-5)})
+		}
+	}
+	got, err := PlaceSensors(sites, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d sensors, want 2", len(got))
+	}
+	for i, c := range centres {
+		d := math.Hypot(got[i][0]-c[0], got[i][1]-c[1])
+		if d > 2e-4 {
+			t.Fatalf("sensor %d at %v, far from cluster %v", i, got[i], c)
+		}
+	}
+}
+
+func TestPlaceSensorsError(t *testing.T) {
+	if _, err := PlaceSensors(nil, 3, 1); err == nil {
+		t.Fatal("expected error on empty sites")
+	}
+}

@@ -1,0 +1,132 @@
+package hotspot
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hotgauge/boreas/internal/ml/kmeans"
+)
+
+// Sensor is one thermal sensor: a named die location bound to a grid cell.
+type Sensor struct {
+	Name string
+	// XM, YM is the die position in metres.
+	XM, YM float64
+	// Cell is the grid-cell index the sensor samples.
+	Cell int
+}
+
+// SensorArray models a set of on-die thermal sensors with a shared
+// read-out delay: Read returns the temperature that was at the sensor's
+// location DelaySteps samples ago, modelling the sensor conversion and
+// telemetry-loop latency the paper studies (0, 180 us, 960 us).
+type SensorArray struct {
+	sensors    []Sensor
+	delaySteps int
+	// ring buffer of per-sensor readings; buf[i] is one sample epoch.
+	buf  [][]float64
+	pos  int
+	full bool
+}
+
+// NewSensorArray builds an array over the given sensors with a read-out
+// delay of delaySteps sample intervals.
+func NewSensorArray(sensors []Sensor, delaySteps int) (*SensorArray, error) {
+	if len(sensors) == 0 {
+		return nil, fmt.Errorf("hotspot: no sensors")
+	}
+	if delaySteps < 0 {
+		return nil, fmt.Errorf("hotspot: negative sensor delay")
+	}
+	depth := delaySteps + 1
+	buf := make([][]float64, depth)
+	for i := range buf {
+		buf[i] = make([]float64, len(sensors))
+	}
+	return &SensorArray{sensors: append([]Sensor(nil), sensors...), delaySteps: delaySteps, buf: buf}, nil
+}
+
+// Sensors returns the sensor definitions.
+func (s *SensorArray) Sensors() []Sensor { return s.sensors }
+
+// DelaySteps returns the configured read-out delay in sample intervals.
+func (s *SensorArray) DelaySteps() int { return s.delaySteps }
+
+// Record samples the thermal grid at every sensor location. Call once per
+// sample interval.
+func (s *SensorArray) Record(grid []float64) error {
+	row := s.buf[s.pos]
+	for i, sn := range s.sensors {
+		if sn.Cell < 0 || sn.Cell >= len(grid) {
+			return fmt.Errorf("hotspot: sensor %s cell %d outside grid of %d", sn.Name, sn.Cell, len(grid))
+		}
+		row[i] = grid[sn.Cell]
+	}
+	s.pos = (s.pos + 1) % len(s.buf)
+	if s.pos == 0 {
+		s.full = true
+	}
+	return nil
+}
+
+// Read returns the delayed reading of sensor i. Before enough samples have
+// accumulated the oldest recorded value is returned (the sensor reports
+// its power-on value until the pipeline fills).
+func (s *SensorArray) Read(i int) float64 {
+	// s.pos is the slot about to be overwritten = oldest sample, which is
+	// exactly delaySteps behind the newest when the ring is full.
+	if s.full {
+		return s.buf[s.pos][i]
+	}
+	if s.pos == 0 {
+		return 0
+	}
+	return s.buf[0][i]
+}
+
+// Current returns the most recent (undelayed) reading of sensor i.
+func (s *SensorArray) Current(i int) float64 {
+	idx := s.pos - 1
+	if idx < 0 {
+		idx = len(s.buf) - 1
+	}
+	return s.buf[idx][i]
+}
+
+// Reset clears the sample history and pre-fills it with temp, as if the
+// chip had been idling at that temperature.
+func (s *SensorArray) Reset(temp float64) {
+	for _, row := range s.buf {
+		for i := range row {
+			row[i] = temp
+		}
+	}
+	s.pos = 0
+	s.full = true
+}
+
+// PlaceSensors runs k-means over observed hotspot sites (die coordinates
+// in metres) and returns k sensor locations at the cluster centroids,
+// sorted left-to-right then bottom-to-top for stable naming. This is the
+// HotGauge sensor-placement methodology.
+func PlaceSensors(sites [][2]float64, k int, seed uint64) ([][2]float64, error) {
+	pts := make([][]float64, len(sites))
+	for i, s := range sites {
+		pts[i] = []float64{s[0], s[1]}
+	}
+	res, err := kmeans.Cluster(pts, k, seed, 0)
+	if err != nil {
+		return nil, fmt.Errorf("hotspot: sensor placement: %w", err)
+	}
+	out := make([][2]float64, k)
+	for i, c := range res.Centroids {
+		out[i] = [2]float64{c[0], c[1]}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out, nil
+}

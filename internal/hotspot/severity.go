@@ -1,0 +1,211 @@
+// Package hotspot implements the HotGauge hotspot metrics used by Boreas:
+// the Maximum Local Temperature Difference (MLTD) and the Hotspot-Severity
+// function that folds absolute temperature and MLTD into a single hazard
+// value, plus the thermal-sensor model (placement via k-means over hotspot
+// sites, configurable read-out delay).
+package hotspot
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeverityParams calibrates the Hotspot-Severity function
+//
+//	severity(T, MLTD) = clamp01((T - TBase + MLTDWeight*MLTD) / (TCrit - TBase))
+//
+// The defaults reproduce the paper's (HotGauge's) anchor behaviour:
+// severity 1.0 at 115 C with zero MLTD (uniformly critical die), 1.0 at
+// 80 C with 40 C of MLTD (an advanced hotspot), and ~0.96 at 95 C / 20 C
+// ("somewhere between" per the paper). A value of 1 means the chip is in
+// immediate danger of timing failure or permanent damage.
+type SeverityParams struct {
+	// TBase is the temperature (C) at which severity reaches 0.
+	TBase float64
+	// TCrit is the temperature (C) at which severity reaches 1 with no MLTD.
+	TCrit float64
+	// MLTDWeight converts degrees of local gradient into equivalent
+	// degrees of absolute temperature.
+	MLTDWeight float64
+	// RadiusM is the MLTD neighbourhood radius in metres.
+	RadiusM float64
+}
+
+// DefaultSeverityParams returns the HotGauge-calibrated parameters.
+func DefaultSeverityParams() SeverityParams {
+	return SeverityParams{TBase: 45, TCrit: 115, MLTDWeight: 0.875, RadiusM: 0.4e-3}
+}
+
+// Validate reports parameter errors.
+func (p SeverityParams) Validate() error {
+	if p.TCrit <= p.TBase {
+		return fmt.Errorf("hotspot: TCrit %g must exceed TBase %g", p.TCrit, p.TBase)
+	}
+	if p.MLTDWeight < 0 {
+		return fmt.Errorf("hotspot: negative MLTD weight")
+	}
+	if p.RadiusM <= 0 {
+		return fmt.Errorf("hotspot: non-positive MLTD radius")
+	}
+	return nil
+}
+
+// SeverityCap bounds the severity value. Severity 1.0 already means
+// "immediate danger"; values above 1 quantify how far past the limit the
+// chip is, which severity *predictors* need to learn a sharp boundary
+// (a hard clamp at 1 would make everything past the limit look alike).
+// Reports and figures display min(severity, 1) as in the paper.
+const SeverityCap = 2.0
+
+// Severity evaluates the severity function for a point temperature and
+// local MLTD, clamped to [0, SeverityCap].
+func (p SeverityParams) Severity(tempC, mltd float64) float64 {
+	s := (tempC - p.TBase + p.MLTDWeight*mltd) / (p.TCrit - p.TBase)
+	return math.Max(0, math.Min(SeverityCap, s))
+}
+
+// Analyzer computes MLTD and severity maps over a thermal grid. It
+// precomputes the window geometry for a given grid; construct one per
+// simulation and reuse it (the scratch buffers make it non-concurrent).
+type Analyzer struct {
+	params SeverityParams
+	nx, ny int
+	rx, ry int // window half-widths in cells
+
+	scratch []float64
+	minBuf  []float64
+}
+
+// NewAnalyzer builds an analyzer for an nx x ny grid with the given cell
+// dimensions in metres.
+func NewAnalyzer(nx, ny int, cellW, cellH float64, params SeverityParams) (*Analyzer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if nx < 2 || ny < 2 || cellW <= 0 || cellH <= 0 {
+		return nil, fmt.Errorf("hotspot: bad grid geometry %dx%d cell %gx%g", nx, ny, cellW, cellH)
+	}
+	rx := int(math.Round(params.RadiusM / cellW))
+	ry := int(math.Round(params.RadiusM / cellH))
+	if rx < 1 {
+		rx = 1
+	}
+	if ry < 1 {
+		ry = 1
+	}
+	return &Analyzer{
+		params:  params,
+		nx:      nx,
+		ny:      ny,
+		rx:      rx,
+		ry:      ry,
+		scratch: make([]float64, nx*ny),
+		minBuf:  make([]float64, nx*ny),
+	}, nil
+}
+
+// Params returns the analyzer's severity parameters.
+func (a *Analyzer) Params() SeverityParams { return a.params }
+
+// WindowCells returns the MLTD window half-widths in cells (x, y).
+func (a *Analyzer) WindowCells() (int, int) { return a.rx, a.ry }
+
+// slidingMin writes, for each position i in src, the minimum of
+// src[max(0,i-r) : min(n,i+r+1)] into dst. O(n) amortised via the
+// monotonic-deque algorithm.
+func slidingMin(src, dst []float64, n, stride, r int, deque []int) {
+	head, tail := 0, 0 // deque of indices (into 0..n-1), values increasing
+	for i := 0; i < n+r; i++ {
+		if i < n {
+			v := src[i*stride]
+			for tail > head && src[deque[tail-1]*stride] >= v {
+				tail--
+			}
+			deque[tail] = i
+			tail++
+		}
+		out := i - r
+		if out < 0 {
+			continue
+		}
+		if out >= n {
+			break
+		}
+		// Evict elements left of the window.
+		for head < tail && deque[head] < out-r {
+			head++
+		}
+		dst[out*stride] = src[deque[head]*stride]
+	}
+}
+
+// minFilter computes the windowed minimum over a (2rx+1) x (2ry+1)
+// rectangle around every cell, using two separable passes.
+func (a *Analyzer) minFilter(grid []float64) []float64 {
+	nx, ny := a.nx, a.ny
+	deque := make([]int, nx+ny+2)
+	// Horizontal pass: rows of grid -> scratch.
+	for y := 0; y < ny; y++ {
+		slidingMin(grid[y*nx:], a.scratch[y*nx:], nx, 1, a.rx, deque)
+	}
+	// Vertical pass: columns of scratch -> minBuf.
+	for x := 0; x < nx; x++ {
+		slidingMin(a.scratch[x:], a.minBuf[x:], ny, nx, a.ry, deque)
+	}
+	return a.minBuf
+}
+
+// MLTDMap fills dst with the MLTD of every cell: the cell temperature
+// minus the minimum temperature within the window. dst may be nil.
+func (a *Analyzer) MLTDMap(grid []float64, dst []float64) ([]float64, error) {
+	if len(grid) != a.nx*a.ny {
+		return nil, fmt.Errorf("hotspot: grid has %d cells, want %d", len(grid), a.nx*a.ny)
+	}
+	if dst == nil {
+		dst = make([]float64, a.nx*a.ny)
+	}
+	if len(dst) != a.nx*a.ny {
+		return nil, fmt.Errorf("hotspot: dst has %d cells, want %d", len(dst), a.nx*a.ny)
+	}
+	mins := a.minFilter(grid)
+	for i := range dst {
+		dst[i] = grid[i] - mins[i]
+	}
+	return dst, nil
+}
+
+// ChipSeverity is the severity summary of one thermal snapshot.
+type ChipSeverity struct {
+	// Max is the chip-wide maximum severity.
+	Max float64
+	// ArgMax is the grid cell index where the maximum occurs.
+	ArgMax int
+	// MaxTemp is the hottest cell temperature.
+	MaxTemp float64
+	// MaxMLTD is the largest local gradient.
+	MaxMLTD float64
+}
+
+// Analyze computes the chip severity summary for a thermal snapshot.
+func (a *Analyzer) Analyze(grid []float64) (ChipSeverity, error) {
+	if len(grid) != a.nx*a.ny {
+		return ChipSeverity{}, fmt.Errorf("hotspot: grid has %d cells, want %d", len(grid), a.nx*a.ny)
+	}
+	mins := a.minFilter(grid)
+	out := ChipSeverity{ArgMax: -1}
+	for i, t := range grid {
+		mltd := t - mins[i]
+		s := a.params.Severity(t, mltd)
+		if s > out.Max || out.ArgMax < 0 {
+			out.Max = s
+			out.ArgMax = i
+		}
+		if t > out.MaxTemp {
+			out.MaxTemp = t
+		}
+		if mltd > out.MaxMLTD {
+			out.MaxMLTD = mltd
+		}
+	}
+	return out, nil
+}

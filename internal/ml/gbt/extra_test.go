@@ -1,0 +1,108 @@
+package gbt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestPredictAll(t *testing.T) {
+	x, y := synth(20, 500)
+	m, err := Train(x, y, names3, Params{NumTrees: 10, MaxDepth: 2, LearningRate: 0.3, Lambda: 1, MinChildWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := m.PredictAll(x[:10])
+	if len(preds) != 10 {
+		t.Fatalf("PredictAll returned %d", len(preds))
+	}
+	for i, p := range preds {
+		if p != m.Predict(x[i]) {
+			t.Fatal("PredictAll disagrees with Predict")
+		}
+	}
+}
+
+func TestSafetyWeightBiasesUpward(t *testing.T) {
+	x, y := synth(21, 3000)
+	base := Params{NumTrees: 60, MaxDepth: 3, LearningRate: 0.3, Lambda: 1, MinChildWeight: 1}
+	safe := base
+	safe.SafetyWeight = 3
+
+	mBase, err := Train(x, y, names3, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSafe, err := Train(x, y, names3, safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanBias := func(m *Model) float64 {
+		s := 0.0
+		for i, row := range x {
+			s += m.Predict(row) - y[i]
+		}
+		return s / float64(len(x))
+	}
+	bBase, bSafe := meanBias(mBase), meanBias(mSafe)
+	if bSafe <= bBase {
+		t.Fatalf("safety weight should bias predictions upward: %v vs %v", bSafe, bBase)
+	}
+	if bSafe <= 0 {
+		t.Fatalf("safety-weighted model should overpredict on average, bias %v", bSafe)
+	}
+}
+
+func TestSafetyWeightValidate(t *testing.T) {
+	p := DefaultParams()
+	p.SafetyWeight = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected negative safety-weight error")
+	}
+	p.SafetyWeight = 0 // treated as 1
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsTruncatedStream(t *testing.T) {
+	x, y := synth(22, 300)
+	m, err := Train(x, y, names3, Params{NumTrees: 8, MaxDepth: 2, LearningRate: 0.3, Lambda: 1, MinChildWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail to parse, never panic.
+	for _, cut := range []int{1, 4, 10, len(full) / 2, len(full) - 3} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes parsed successfully", cut)
+		}
+	}
+}
+
+func TestTreeDepthEmpty(t *testing.T) {
+	var tr Tree
+	if tr.Depth() != 0 {
+		t.Fatal("empty tree depth should be 0")
+	}
+}
+
+func TestCVResultStdNonNegativeAndFinite(t *testing.T) {
+	x, y := synth(23, 400)
+	groups := make([]string, len(x))
+	for i := range groups {
+		groups[i] = []string{"a", "b", "c", "d"}[i%4]
+	}
+	p := Params{NumTrees: 8, MaxDepth: 2, LearningRate: 0.3, Lambda: 1, MinChildWeight: 1}
+	res, err := LeaveOneGroupOut(x, y, groups, names3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StdMSE < 0 || math.IsNaN(res.StdMSE) {
+		t.Fatalf("bad std %v", res.StdMSE)
+	}
+}

@@ -1,0 +1,398 @@
+// Package gbt implements gradient-boosted regression trees in the style
+// of XGBoost: squared-error objective, exact greedy split finding with
+// second-order (gain) scoring, L2 leaf regularisation, gamma
+// minimum-split-loss pruning and a shrinkage learning rate. It is the
+// model family Boreas trains to predict future Hotspot-Severity, with the
+// paper's hyper-parameter vocabulary (alpha, gamma, max_depth,
+// n_estimators) and gain-based feature importance for the Table IV
+// feature-selection study.
+package gbt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Params are the training hyper-parameters (Table II vocabulary).
+type Params struct {
+	// NumTrees is n_estimators.
+	NumTrees int
+	// MaxDepth is the maximum tree depth (root = depth 0 edges).
+	MaxDepth int
+	// LearningRate is alpha, the shrinkage applied to each tree's
+	// contribution.
+	LearningRate float64
+	// Gamma is the minimum loss reduction required to make a split.
+	Gamma float64
+	// Lambda is the L2 regularisation on leaf weights.
+	Lambda float64
+	// MinChildWeight is the minimum hessian sum (= instance count for
+	// squared loss) allowed in a child.
+	MinChildWeight float64
+	// SafetyWeight asymmetrises the squared loss: residuals where the
+	// model *under*-predicts are weighted by this factor, biasing the
+	// fit toward an upper quantile of the target. For a hotspot-severity
+	// predictor this is the right shape of conservatism - the cost of
+	// underprediction is silicon damage, the cost of overprediction is a
+	// slightly lower frequency. 0 or 1 means the plain symmetric loss.
+	SafetyWeight float64
+}
+
+// DefaultParams returns the paper's chosen configuration (Table II):
+// alpha = 0.3, gamma = 0, max_depth = 3, n_estimators = 223.
+func DefaultParams() Params {
+	return Params{
+		NumTrees:       223,
+		MaxDepth:       3,
+		LearningRate:   0.3,
+		Gamma:          0,
+		Lambda:         1,
+		MinChildWeight: 1,
+	}
+}
+
+// Validate reports hyper-parameter errors.
+func (p Params) Validate() error {
+	if p.NumTrees <= 0 {
+		return fmt.Errorf("gbt: NumTrees %d must be positive", p.NumTrees)
+	}
+	if p.MaxDepth <= 0 || p.MaxDepth > 16 {
+		return fmt.Errorf("gbt: MaxDepth %d outside [1,16]", p.MaxDepth)
+	}
+	if p.LearningRate <= 0 || p.LearningRate > 1 {
+		return fmt.Errorf("gbt: LearningRate %g outside (0,1]", p.LearningRate)
+	}
+	if p.Gamma < 0 || p.Lambda < 0 || p.MinChildWeight < 0 {
+		return fmt.Errorf("gbt: negative regularisation parameter")
+	}
+	if p.SafetyWeight < 0 {
+		return fmt.Errorf("gbt: negative safety weight")
+	}
+	return nil
+}
+
+// Node is one tree node. Leaves have Feature == -1 and carry Value;
+// internal nodes route x[Feature] < Threshold to Left, else Right.
+type Node struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Value     float64
+	Gain      float64
+}
+
+// Tree is one regression tree, nodes in breadth-first order (root = 0).
+type Tree struct {
+	Nodes []Node
+}
+
+// Predict routes one row to a leaf and returns its (already shrunk) value.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] < n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Depth returns the maximum root-to-leaf edge count.
+func (t *Tree) Depth() int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return walk(0)
+}
+
+// Model is a trained boosted ensemble.
+type Model struct {
+	Params       Params
+	FeatureNames []string
+	// Base is the initial prediction (training-set mean).
+	Base  float64
+	Trees []Tree
+}
+
+// Predict evaluates the ensemble on one row.
+func (m *Model) Predict(x []float64) float64 {
+	s := m.Base
+	for i := range m.Trees {
+		s += m.Trees[i].Predict(x)
+	}
+	return s
+}
+
+// PredictAll evaluates the ensemble on many rows.
+func (m *Model) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// MSE returns the mean squared error on a dataset.
+func (m *Model) MSE(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, row := range x {
+		d := m.Predict(row) - y[i]
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// trainer holds the level-wise exact-greedy split machinery.
+type trainer struct {
+	p        Params
+	x        [][]float64
+	grad     []float64 // residual gradients (pred - y), loss-weighted
+	hess     []float64 // per-instance hessians, loss-weighted
+	sorted   [][]int32 // per feature: instance indices sorted by value
+	nodeOf   []int32   // current tree-node id of each instance (-1: settled in a leaf)
+	nFeature int
+}
+
+// Train fits a boosted ensemble to x (n rows, d features) and y.
+// featureNames must have d entries and are retained for importance
+// reporting and serialisation.
+func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("gbt: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gbt: %d rows but %d labels", n, len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, fmt.Errorf("gbt: zero-dimensional rows")
+	}
+	if len(featureNames) != d {
+		return nil, fmt.Errorf("gbt: %d feature names for %d features", len(featureNames), d)
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("gbt: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+
+	base := 0.0
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(n)
+
+	tr := &trainer{p: p, x: x, nFeature: d}
+	tr.grad = make([]float64, n)
+	tr.hess = make([]float64, n)
+	tr.nodeOf = make([]int32, n)
+	tr.sorted = make([][]int32, d)
+	for f := 0; f < d; f++ {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		ff := f
+		sort.Slice(idx, func(a, b int) bool { return x[idx[a]][ff] < x[idx[b]][ff] })
+		tr.sorted[f] = idx
+	}
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+
+	m := &Model{Params: p, FeatureNames: append([]string(nil), featureNames...), Base: base}
+	safety := p.SafetyWeight
+	if safety <= 0 {
+		safety = 1
+	}
+	for t := 0; t < p.NumTrees; t++ {
+		for i := range tr.grad {
+			g := pred[i] - y[i]
+			h := 1.0
+			if g < 0 {
+				// Underprediction: weight the loss up.
+				g *= safety
+				h = safety
+			}
+			tr.grad[i] = g
+			tr.hess[i] = h
+		}
+		tree := tr.buildTree()
+		m.Trees = append(m.Trees, tree)
+		for i := range pred {
+			pred[i] += tree.Predict(x[i])
+		}
+	}
+	return m, nil
+}
+
+// split candidate chosen for a node during a level scan.
+type splitChoice struct {
+	gain    float64
+	feature int32
+	thresh  float64
+}
+
+// buildTree grows one tree level-wise with exact greedy splits.
+func (tr *trainer) buildTree() Tree {
+	p := tr.p
+	n := len(tr.x)
+
+	// All instances start at the root (node 0).
+	for i := range tr.nodeOf {
+		tr.nodeOf[i] = 0
+	}
+	tree := Tree{Nodes: []Node{{Feature: -1}}}
+
+	// active maps node id -> position in the per-level arrays.
+	active := []int32{0}
+
+	for depth := 0; depth < p.MaxDepth && len(active) > 0; depth++ {
+		pos := make(map[int32]int, len(active))
+		for i, id := range active {
+			pos[id] = i
+		}
+		k := len(active)
+
+		// Node aggregates.
+		gTot := make([]float64, k)
+		hTot := make([]float64, k)
+		for i := 0; i < n; i++ {
+			if j, ok := pos[tr.nodeOf[i]]; ok {
+				gTot[j] += tr.grad[i]
+				hTot[j] += tr.hess[i]
+			}
+		}
+
+		best := make([]splitChoice, k)
+		for i := range best {
+			best[i].gain = math.Inf(-1)
+			best[i].feature = -1
+		}
+
+		gl := make([]float64, k)
+		hl := make([]float64, k)
+		lastVal := make([]float64, k)
+		started := make([]bool, k)
+
+		score := func(g, h float64) float64 {
+			return g * g / (h + p.Lambda)
+		}
+
+		for f := 0; f < tr.nFeature; f++ {
+			for i := range gl {
+				gl[i], hl[i], started[i] = 0, 0, false
+			}
+			for _, ii := range tr.sorted[f] {
+				j, ok := pos[tr.nodeOf[ii]]
+				if !ok {
+					continue
+				}
+				v := tr.x[ii][f]
+				if started[j] && v > lastVal[j] && hl[j] >= p.MinChildWeight && hTot[j]-hl[j] >= p.MinChildWeight {
+					gain := 0.5*(score(gl[j], hl[j])+score(gTot[j]-gl[j], hTot[j]-hl[j])-score(gTot[j], hTot[j])) - p.Gamma
+					if gain > best[j].gain {
+						best[j] = splitChoice{gain: gain, feature: int32(f), thresh: (lastVal[j] + v) / 2}
+					}
+				}
+				gl[j] += tr.grad[ii]
+				hl[j] += tr.hess[ii]
+				lastVal[j] = v
+				started[j] = true
+			}
+		}
+
+		// Materialise the chosen splits. All writes go through the slice
+		// index: appending children may reallocate the backing array, so a
+		// node pointer taken before the append would go stale.
+		var nextActive []int32
+		for i, id := range active {
+			if best[i].feature < 0 || best[i].gain <= 0 {
+				// Leaf: newton step scaled by the learning rate.
+				tree.Nodes[id].Feature = -1
+				tree.Nodes[id].Value = -tr.grad2leaf(gTot[i], hTot[i])
+				continue
+			}
+			left := int32(len(tree.Nodes))
+			tree.Nodes = append(tree.Nodes, Node{Feature: -1}, Node{Feature: -1})
+			tree.Nodes[id].Feature = best[i].feature
+			tree.Nodes[id].Threshold = best[i].thresh
+			tree.Nodes[id].Gain = best[i].gain
+			tree.Nodes[id].Left, tree.Nodes[id].Right = left, left+1
+			nextActive = append(nextActive, left, left+1)
+		}
+
+		// Reassign instances of split nodes to their children; settle the
+		// rest as leaves.
+		for i := 0; i < n; i++ {
+			id := tr.nodeOf[i]
+			j, ok := pos[id]
+			if !ok {
+				continue
+			}
+			node := &tree.Nodes[id]
+			if node.Feature < 0 {
+				tr.nodeOf[i] = -1
+				continue
+			}
+			if tr.x[i][node.Feature] < node.Threshold {
+				tr.nodeOf[i] = node.Left
+			} else {
+				tr.nodeOf[i] = node.Right
+			}
+			_ = j
+		}
+		active = nextActive
+	}
+
+	// Any still-active nodes at max depth become leaves.
+	if len(active) > 0 {
+		g := make(map[int32]float64, len(active))
+		h := make(map[int32]float64, len(active))
+		for i := 0; i < n; i++ {
+			if id := tr.nodeOf[i]; id >= 0 {
+				g[id] += tr.grad[i]
+				h[id] += tr.hess[i]
+			}
+		}
+		for _, id := range active {
+			node := &tree.Nodes[id]
+			node.Feature = -1
+			node.Value = -tr.grad2leaf(g[id], h[id])
+		}
+	}
+	return tree
+}
+
+// grad2leaf converts node aggregates into the (shrunk) leaf weight.
+func (tr *trainer) grad2leaf(g, h float64) float64 {
+	return tr.p.LearningRate * g / (h + tr.p.Lambda)
+}

@@ -1,0 +1,160 @@
+// Package kmeans implements Lloyd's k-means clustering with k-means++
+// seeding. It is used twice in this repository: to place thermal sensors
+// at common hotspot sites (as HotGauge does) and as the phase-detection
+// stage of the Cochran-Reda thermal-prediction baseline.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+// Result holds a clustering.
+type Result struct {
+	// Centroids is k points of the input dimensionality.
+	Centroids [][]float64
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Inertia is the summed squared distance of points to their centroids.
+	Inertia float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cluster runs k-means++ initialisation followed by Lloyd iterations until
+// assignments stabilise or maxIter is reached. Points must be non-empty
+// and rectangular. k must be in [1, len(points)].
+func Cluster(points [][]float64, k int, seed uint64, maxIter int) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("kmeans: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("kmeans: k=%d outside [1,%d]", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	r := rng.New(seed)
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), points[r.Intn(n)]...)
+	centroids = append(centroids, first)
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var next int
+		if total == 0 {
+			next = r.Intn(n)
+		} else {
+			target := r.Float64() * total
+			acc := 0.0
+			next = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[next]...))
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				if assign[i] != best {
+					changed = true
+				}
+				assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			counts[c] = 0
+			for d := range centroids[c] {
+				centroids[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := range p {
+				centroids[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centroids[c], points[r.Intn(n)])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for d := range centroids[c] {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return &Result{Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iter}, nil
+}
+
+// Nearest returns the index of the centroid closest to p.
+func Nearest(centroids [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c := range centroids {
+		if d := sqDist(p, centroids[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

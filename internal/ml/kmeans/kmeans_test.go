@@ -1,0 +1,127 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+// threeBlobs generates three well-separated Gaussian clusters.
+func threeBlobs(seed uint64, perBlob int) ([][]float64, [][]float64) {
+	r := rng.New(seed)
+	centres := [][]float64{{0, 0}, {10, 0}, {5, 10}}
+	var pts [][]float64
+	for _, c := range centres {
+		for i := 0; i < perBlob; i++ {
+			pts = append(pts, []float64{r.Norm(c[0], 0.5), r.Norm(c[1], 0.5)})
+		}
+	}
+	return pts, centres
+}
+
+func TestClusterRecoversBlobs(t *testing.T) {
+	pts, truth := threeBlobs(1, 100)
+	res, err := Cluster(pts, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each true centre must have a recovered centroid within 0.5.
+	for _, c := range truth {
+		best := math.Inf(1)
+		for _, got := range res.Centroids {
+			d := math.Hypot(got[0]-c[0], got[1]-c[1])
+			best = math.Min(best, d)
+		}
+		if best > 0.5 {
+			t.Fatalf("no centroid near true centre %v (closest %.2f)", c, best)
+		}
+	}
+}
+
+func TestClusterAssignmentsConsistent(t *testing.T) {
+	pts, _ := threeBlobs(2, 50)
+	res, err := Cluster(pts, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if got := Nearest(res.Centroids, p); got != res.Assign[i] {
+			t.Fatalf("point %d assigned %d but nearest is %d", i, res.Assign[i], got)
+		}
+	}
+}
+
+func TestClusterInertiaDecreasesWithK(t *testing.T) {
+	pts, _ := threeBlobs(3, 60)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 3, 6} {
+		res, err := Cluster(pts, k, 11, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Fatalf("inertia rose from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	pts, _ := threeBlobs(4, 40)
+	a, _ := Cluster(pts, 3, 9, 0)
+	b, _ := Cluster(pts, 3, 9, 0)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed gave different clustering")
+		}
+	}
+}
+
+func TestClusterKEqualsN(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	res, err := Cluster(pts, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("k=n should give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestClusterK1Centroid(t *testing.T) {
+	pts := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	res, err := Cluster(pts, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0][0]-1) > 1e-9 || math.Abs(res.Centroids[0][1]-1) > 1e-9 {
+		t.Fatalf("k=1 centroid should be the mean, got %v", res.Centroids[0])
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(nil, 1, 1, 0); err == nil {
+		t.Fatal("expected no-points error")
+	}
+	if _, err := Cluster([][]float64{{}}, 1, 1, 0); err == nil {
+		t.Fatal("expected zero-dim error")
+	}
+	if _, err := Cluster([][]float64{{1}, {2}}, 3, 1, 0); err == nil {
+		t.Fatal("expected k>n error")
+	}
+	if _, err := Cluster([][]float64{{1}, {2, 3}}, 1, 1, 0); err == nil {
+		t.Fatal("expected ragged-input error")
+	}
+}
+
+func TestClusterIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := Cluster(pts, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points should give zero inertia, got %v", res.Inertia)
+	}
+}

@@ -1,0 +1,138 @@
+// Package linreg implements ordinary least-squares linear regression with
+// optional ridge regularisation, solved via the normal equations and
+// Gaussian elimination with partial pivoting. It is the prediction stage
+// of the Cochran-Reda thermal-prediction baseline.
+package linreg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear model y = w . x + b.
+type Model struct {
+	Weights   []float64
+	Intercept float64
+}
+
+// Fit solves min ||Xw - y||^2 + lambda ||w||^2 (intercept unpenalised).
+// X is n rows of d features.
+func Fit(x [][]float64, y []float64, lambda float64) (*Model, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("linreg: no rows")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("linreg: %d rows but %d targets", n, len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, fmt.Errorf("linreg: zero-dimensional rows")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("linreg: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linreg: negative lambda")
+	}
+
+	// Augmented design: d features + intercept column.
+	m := d + 1
+	// Normal equations: A = X'X (+ lambda I on feature block), b = X'y.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m+1)
+	}
+	for _, row := range x {
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][d] += row[i] // intercept column
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+		a[d][i] = a[i][d]
+		a[i][i] += lambda
+	}
+	a[d][d] = float64(n)
+	for k, row := range x {
+		for i := 0; i < d; i++ {
+			a[i][m] += row[i] * y[k]
+		}
+		a[d][m] += y[k]
+	}
+
+	w, err := solve(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Weights: w[:d], Intercept: w[d]}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// augmented matrix a (m x m+1), returning the solution vector.
+func solve(a [][]float64) ([]float64, error) {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < m; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("linreg: singular system (column %d); add regularisation", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate below.
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back-substitute.
+	w := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		s := a[r][m]
+		for c := r + 1; c < m; c++ {
+			s -= a[r][c] * w[c]
+		}
+		w[r] = s / a[r][r]
+	}
+	return w, nil
+}
+
+// Predict evaluates the model on one row.
+func (m *Model) Predict(row []float64) float64 {
+	s := m.Intercept
+	for i, w := range m.Weights {
+		s += w * row[i]
+	}
+	return s
+}
+
+// MSE returns the mean squared error of the model on a dataset.
+func (m *Model) MSE(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, row := range x {
+		d := m.Predict(row) - y[i]
+		s += d * d
+	}
+	return s / float64(len(x))
+}

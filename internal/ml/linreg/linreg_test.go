@@ -1,0 +1,114 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+func TestFitExactLinear(t *testing.T) {
+	// y = 2x0 - 3x1 + 5, noiseless.
+	r := rng.New(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		row := []float64{r.Norm(0, 1), r.Norm(0, 1)}
+		x = append(x, row)
+		y = append(y, 2*row[0]-3*row[1]+5)
+	}
+	m, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 1e-8 || math.Abs(m.Weights[1]+3) > 1e-8 {
+		t.Fatalf("weights %v, want [2 -3]", m.Weights)
+	}
+	if math.Abs(m.Intercept-5) > 1e-8 {
+		t.Fatalf("intercept %v, want 5", m.Intercept)
+	}
+	if mse := m.MSE(x, y); mse > 1e-15 {
+		t.Fatalf("MSE on noiseless data %v", mse)
+	}
+}
+
+func TestFitNoisyRecoversApproximately(t *testing.T) {
+	r := rng.New(2)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 5000; i++ {
+		row := []float64{r.Norm(0, 1), r.Norm(0, 1), r.Norm(0, 1)}
+		x = append(x, row)
+		y = append(y, 1.5*row[0]-0.5*row[1]+0.25*row[2]+2+r.Norm(0, 0.1))
+	}
+	m, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -0.5, 0.25}
+	for i, w := range want {
+		if math.Abs(m.Weights[i]-w) > 0.02 {
+			t.Fatalf("weight %d = %v, want ~%v", i, m.Weights[i], w)
+		}
+	}
+}
+
+func TestRidgeShrinksWeights(t *testing.T) {
+	r := rng.New(3)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		row := []float64{r.Norm(0, 1)}
+		x = append(x, row)
+		y = append(y, 4*row[0])
+	}
+	m0, _ := Fit(x, y, 0)
+	m1, _ := Fit(x, y, 1000)
+	if math.Abs(m1.Weights[0]) >= math.Abs(m0.Weights[0]) {
+		t.Fatalf("ridge should shrink weight: %v vs %v", m1.Weights[0], m0.Weights[0])
+	}
+}
+
+func TestFitSingularWithoutRegularisation(t *testing.T) {
+	// Perfectly collinear features.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := Fit(x, y, 0); err == nil {
+		t.Fatal("expected singularity error")
+	}
+	if _, err := Fit(x, y, 1e-6); err != nil {
+		t.Fatalf("ridge should rescue collinearity: %v", err)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 0); err == nil {
+		t.Fatal("expected no-rows error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := Fit([][]float64{{}}, []float64{1}, 0); err == nil {
+		t.Fatal("expected zero-dim error")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected ragged error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Fatal("expected negative-lambda error")
+	}
+}
+
+func TestPredictMatchesManual(t *testing.T) {
+	m := &Model{Weights: []float64{1, -2}, Intercept: 0.5}
+	if got := m.Predict([]float64{3, 1}); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Predict = %v, want 1.5", got)
+	}
+}
+
+func TestMSEEmpty(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Intercept: 0}
+	if m.MSE(nil, nil) != 0 {
+		t.Fatal("MSE of empty set should be 0")
+	}
+}

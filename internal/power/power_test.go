@@ -1,0 +1,230 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hotgauge/boreas/internal/floorplan"
+)
+
+func TestTableIAnchors(t *testing.T) {
+	for _, p := range TableI {
+		if got := VoltageFor(p.FrequencyGHz); math.Abs(got-p.Voltage) > 1e-12 {
+			t.Errorf("VoltageFor(%g) = %g, want %g", p.FrequencyGHz, got, p.Voltage)
+		}
+	}
+}
+
+func TestVoltageInterpolationMidpoints(t *testing.T) {
+	// 4.25 GHz sits halfway between the 4.0/0.98 and 4.5/1.15 anchors.
+	if got := VoltageFor(4.25); math.Abs(got-1.065) > 1e-9 {
+		t.Fatalf("VoltageFor(4.25) = %g, want 1.065", got)
+	}
+}
+
+func TestVoltageClampsOutsideRange(t *testing.T) {
+	if VoltageFor(1.0) != 0.64 {
+		t.Fatal("below-range voltage should clamp to the 2.0 GHz anchor")
+	}
+	if VoltageFor(6.0) != 1.40 {
+		t.Fatal("above-range voltage should clamp to the 5.0 GHz anchor")
+	}
+}
+
+func TestVoltageMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		fa := 2 + math.Mod(math.Abs(a), 3)
+		fb := 2 + math.Mod(math.Abs(b), 3)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return VoltageFor(fa) <= VoltageFor(fb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequencySteps(t *testing.T) {
+	steps := FrequencySteps()
+	if len(steps) != 13 {
+		t.Fatalf("want 13 frequency steps (2.0-5.0 in 250 MHz), got %d", len(steps))
+	}
+	if steps[0] != 2.0 || steps[12] != 5.0 {
+		t.Fatalf("bad endpoints: %v", steps)
+	}
+	for i := 1; i < len(steps); i++ {
+		if math.Abs(steps[i]-steps[i-1]-0.25) > 1e-9 {
+			t.Fatalf("non-uniform step at %d: %v", i, steps)
+		}
+	}
+}
+
+func TestClampFrequency(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1.0, 2.0}, {2.0, 2.0}, {2.1, 2.0}, {2.13, 2.25}, {4.99, 5.0}, {7, 5.0}, {3.75, 3.75},
+	}
+	for _, c := range cases {
+		if got := ClampFrequency(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ClampFrequency(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFrequencyIndexRoundTrip(t *testing.T) {
+	for i, f := range FrequencySteps() {
+		got, err := FrequencyIndex(f)
+		if err != nil || got != i {
+			t.Fatalf("FrequencyIndex(%g) = %d, %v; want %d", f, got, err, i)
+		}
+	}
+	if _, err := FrequencyIndex(3.1); err == nil {
+		t.Fatal("expected error for illegal step")
+	}
+}
+
+func newModel(t *testing.T) (*Model, *floorplan.Floorplan) {
+	t.Helper()
+	fp := floorplan.SkylakeLike()
+	m, err := NewModel(fp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fp
+}
+
+func TestDynamicScalesWithVSquaredF(t *testing.T) {
+	m, _ := newModel(t)
+	base := m.Dynamic(0, 1, 1, 1)
+	if base <= 0 {
+		t.Fatal("dynamic power must be positive")
+	}
+	if got := m.Dynamic(0, 1, 2, 1); math.Abs(got-2*base) > 1e-12 {
+		t.Fatalf("doubling f should double dynamic power: %v vs %v", got, base)
+	}
+	if got := m.Dynamic(0, 1, 1, 2); math.Abs(got-4*base) > 1e-12 {
+		t.Fatalf("doubling V should quadruple dynamic power: %v vs %v", got, base)
+	}
+}
+
+func TestIdleActivityFloor(t *testing.T) {
+	m, fp := newModel(t)
+	alu := fp.BlockIndex("ALU0")
+	if m.Dynamic(alu, 0, 4, 1) <= 0 {
+		t.Fatal("idle core block should still dissipate clock-tree power")
+	}
+	unc := fp.BlockIndex("UncoreN")
+	if m.Dynamic(unc, 0, 4, 1) != 0 {
+		t.Fatal("idle uncore should dissipate zero dynamic power")
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	m, _ := newModel(t)
+	cold := m.Leakage(0, 45, 1)
+	hot := m.Leakage(0, 105, 1)
+	if hot <= cold {
+		t.Fatal("leakage must grow with temperature")
+	}
+	// Ratio should be exp(60/theta).
+	want := math.Exp(60 / m.Config().LeakageTheta)
+	if got := hot / cold; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("leakage ratio %v, want %v", got, want)
+	}
+}
+
+func TestFPUHotterThanCachePerArea(t *testing.T) {
+	m, fp := newModel(t)
+	fpu := fp.BlockIndex("FPU")
+	l2 := fp.BlockIndex("L2")
+	dFPU := m.Dynamic(fpu, 1, 4, 1) / fp.Blocks[fpu].Rect.Area()
+	dL2 := m.Dynamic(l2, 1, 4, 1) / fp.Blocks[l2].Rect.Area()
+	if dFPU < 4*dL2 {
+		t.Fatalf("FPU power density (%g) should dwarf L2 (%g)", dFPU, dL2)
+	}
+}
+
+func TestComputeMatchesParts(t *testing.T) {
+	m, fp := newModel(t)
+	n := len(fp.Blocks)
+	act := make([]float64, n)
+	temp := make([]float64, n)
+	for i := range act {
+		act[i] = 0.5
+		temp[i] = 80
+	}
+	out, err := m.Compute(act, 4.0, 0.98, temp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range out {
+		want := m.Dynamic(b, 0.5, 4.0, 0.98) + m.Leakage(b, 80, 0.98)
+		if math.Abs(out[b]-want) > 1e-12 {
+			t.Fatalf("block %d: %v != %v", b, out[b], want)
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	m, fp := newModel(t)
+	n := len(fp.Blocks)
+	if _, err := m.Compute(make([]float64, 2), 4, 1, make([]float64, n), nil); err == nil {
+		t.Fatal("expected activity-size error")
+	}
+	if _, err := m.Compute(make([]float64, n), 4, 1, make([]float64, 2), nil); err == nil {
+		t.Fatal("expected temperature-size error")
+	}
+	if _, err := m.Compute(make([]float64, n), 4, 1, make([]float64, n), make([]float64, 1)); err == nil {
+		t.Fatal("expected dst-size error")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Scale = 0
+	if _, err := NewModel(floorplan.SkylakeLike(), bad); err == nil {
+		t.Fatal("expected scale error")
+	}
+	bad = DefaultConfig()
+	bad.IdleActivity = 2
+	if _, err := NewModel(floorplan.SkylakeLike(), bad); err == nil {
+		t.Fatal("expected idle-activity error")
+	}
+	bad = DefaultConfig()
+	bad.LeakageTheta = 0
+	if _, err := NewModel(floorplan.SkylakeLike(), bad); err == nil {
+		t.Fatal("expected leakage error")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	if Total([]float64{1, 2, 3}) != 6 {
+		t.Fatal("Total broken")
+	}
+	if Total(nil) != 0 {
+		t.Fatal("Total of nil should be 0")
+	}
+}
+
+func TestPlausibleCorePowerEnvelope(t *testing.T) {
+	// At turbo (5 GHz, 1.4 V) with the activity a hot workload actually
+	// sustains (~0.35 mean across blocks), whole-die power must land in a
+	// hotspot-forming but not absurd envelope.
+	m, fp := newModel(t)
+	n := len(fp.Blocks)
+	act := make([]float64, n)
+	temp := make([]float64, n)
+	for i := range act {
+		act[i] = 0.35
+		temp[i] = 85
+	}
+	out, err := m.Compute(act, 5.0, 1.40, temp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := Total(out)
+	if total < 15 || total > 160 {
+		t.Fatalf("turbo power %.1f W outside plausible 15-160 W", total)
+	}
+}

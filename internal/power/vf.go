@@ -1,0 +1,91 @@
+// Package power converts micro-architectural activity into per-block power
+// dissipation, in the style of McPAT: activity-proportional dynamic power
+// (C_eff * V^2 * f) plus temperature-dependent leakage, evaluated at the
+// floorplan-block granularity the thermal model consumes.
+//
+// The voltage/frequency operating points reproduce Table I of the Boreas
+// paper for the modelled 7 nm processor; intermediate 250 MHz steps are
+// linearly interpolated between the published anchors.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// VFPoint is one voltage/frequency operating point.
+type VFPoint struct {
+	FrequencyGHz float64
+	Voltage      float64
+}
+
+// TableI lists the published VF anchors (paper Table I).
+var TableI = []VFPoint{
+	{2.0, 0.64},
+	{2.5, 0.71},
+	{3.0, 0.77},
+	{3.5, 0.87},
+	{4.0, 0.98},
+	{4.5, 1.15},
+	{5.0, 1.40},
+}
+
+const (
+	// MinFrequencyGHz and MaxFrequencyGHz bound the DVFS range.
+	MinFrequencyGHz = 2.0
+	MaxFrequencyGHz = 5.0
+	// FrequencyStepGHz is the controller's frequency granularity.
+	FrequencyStepGHz = 0.25
+)
+
+// VoltageFor returns the supply voltage for a frequency in GHz, linearly
+// interpolated between the Table I anchors and clamped at the ends.
+func VoltageFor(fGHz float64) float64 {
+	if fGHz <= TableI[0].FrequencyGHz {
+		return TableI[0].Voltage
+	}
+	last := TableI[len(TableI)-1]
+	if fGHz >= last.FrequencyGHz {
+		return last.Voltage
+	}
+	for i := 1; i < len(TableI); i++ {
+		if fGHz <= TableI[i].FrequencyGHz {
+			lo, hi := TableI[i-1], TableI[i]
+			t := (fGHz - lo.FrequencyGHz) / (hi.FrequencyGHz - lo.FrequencyGHz)
+			return lo.Voltage + t*(hi.Voltage-lo.Voltage)
+		}
+	}
+	return last.Voltage
+}
+
+// FrequencySteps returns the 13 operating frequencies 2.0, 2.25, ... 5.0.
+func FrequencySteps() []float64 {
+	var out []float64
+	for f := MinFrequencyGHz; f <= MaxFrequencyGHz+1e-9; f += FrequencyStepGHz {
+		out = append(out, math.Round(f*100)/100)
+	}
+	return out
+}
+
+// ClampFrequency snaps f to the nearest legal step inside the DVFS range.
+func ClampFrequency(fGHz float64) float64 {
+	if fGHz < MinFrequencyGHz {
+		return MinFrequencyGHz
+	}
+	if fGHz > MaxFrequencyGHz {
+		return MaxFrequencyGHz
+	}
+	steps := math.Round((fGHz - MinFrequencyGHz) / FrequencyStepGHz)
+	return MinFrequencyGHz + steps*FrequencyStepGHz
+}
+
+// FrequencyIndex returns the index of f in FrequencySteps, or an error if
+// f is not a legal step.
+func FrequencyIndex(fGHz float64) (int, error) {
+	idx := (fGHz - MinFrequencyGHz) / FrequencyStepGHz
+	r := math.Round(idx)
+	if math.Abs(idx-r) > 1e-6 || r < 0 || r > (MaxFrequencyGHz-MinFrequencyGHz)/FrequencyStepGHz+1e-9 {
+		return 0, fmt.Errorf("power: %g GHz is not a legal operating point", fGHz)
+	}
+	return int(r), nil
+}

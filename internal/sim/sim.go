@@ -1,0 +1,390 @@
+// Package sim couples the simulation substrates into the HotGauge-style
+// pipeline the Boreas paper runs on: for every 80 us timestep the active
+// workload phase drives the core performance model, whose activity vector
+// feeds the power model, whose per-block power feeds the thermal RC
+// solver, whose die-temperature grid is scored by the hotspot metrics and
+// sampled by the (delayed) thermal sensors.
+//
+// The pipeline exposes exactly the signals Boreas consumes: hardware
+// telemetry (performance counters + one delayed sensor reading) and the
+// ground-truth Hotspot-Severity used for training labels and for scoring
+// controllers.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/arch"
+	"github.com/hotgauge/boreas/internal/floorplan"
+	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/thermal"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// Config assembles the pipeline.
+type Config struct {
+	Thermal  thermal.Config
+	Power    power.Config
+	Core     arch.CoreConfig
+	Severity hotspot.SeverityParams
+
+	// TimestepSec is the telemetry sampling interval (80 us in the paper).
+	TimestepSec float64
+	// SensorDelaySec is the thermal-sensor read-out delay (960 us default,
+	// rounded to whole timesteps).
+	SensorDelaySec float64
+	// Seed drives all stochastic components.
+	Seed uint64
+	// WarmStartFraction primes each run's thermal state to the steady
+	// state of this fraction of the workload's average power at the run
+	// frequency, modelling a chip that has been executing (not sitting at
+	// ambient) before the measured window. 0 disables warm starts.
+	WarmStartFraction float64
+	// WarmStartProbeSteps is how many pipeline steps are sampled to
+	// estimate the workload's average power for the warm start.
+	WarmStartProbeSteps int
+}
+
+// DefaultConfig returns the standard experiment configuration. The thermal
+// grid is 32 x 24 (vs. the hi-res 48 x 36 of thermal.DefaultConfig) so a
+// full 27-workload x 13-frequency sweep completes in seconds on one core;
+// the grid still resolves the 0.4 mm MLTD radius with >3 cells.
+func DefaultConfig() Config {
+	tc := thermal.DefaultConfig()
+	tc.NX, tc.NY = 32, 24
+	return Config{
+		Thermal:             tc,
+		Power:               power.DefaultConfig(),
+		Core:                arch.DefaultCoreConfig(),
+		Severity:            hotspot.DefaultSeverityParams(),
+		TimestepSec:         80e-6,
+		SensorDelaySec:      960e-6,
+		Seed:                1,
+		WarmStartFraction:   0.92,
+		WarmStartProbeSteps: 15,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Thermal.Validate(); err != nil {
+		return err
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.Severity.Validate(); err != nil {
+		return err
+	}
+	if c.TimestepSec <= 0 {
+		return fmt.Errorf("sim: non-positive timestep")
+	}
+	if c.SensorDelaySec < 0 {
+		return fmt.Errorf("sim: negative sensor delay")
+	}
+	if c.WarmStartFraction < 0 || c.WarmStartFraction > 1 {
+		return fmt.Errorf("sim: warm-start fraction %g outside [0,1]", c.WarmStartFraction)
+	}
+	if c.WarmStartFraction > 0 && c.WarmStartProbeSteps <= 0 {
+		return fmt.Errorf("sim: warm start enabled with no probe steps")
+	}
+	return nil
+}
+
+// DefaultSensorIndex is the index of the paper's preferred sensor
+// (tsens03, near the ALUs in the EX stage).
+const DefaultSensorIndex = 3
+
+// defaultSensorSpots lists the 7 sensor locations (die metres). They
+// follow the HotGauge placement: four useful sensors across the execution
+// and memory rows (tsens00-03, with tsens03 centred on the ALU cluster)
+// and three poorly-placed ones (L2 strip, uncore corner, front end) that
+// Fig 5 shows track only the bulk warm-up.
+func defaultSensorSpots() [][2]float64 {
+	const mm = 1e-3
+	return [][2]float64{
+		{0.85 * mm, 1.1 * mm},  // tsens00: LSU / memory row
+		{2.2 * mm, 1.9 * mm},   // tsens01: scheduler / FpRF
+		{2.05 * mm, 1.5 * mm},  // tsens02: MUL/DIV edge
+		{1.2 * mm, 1.5 * mm},   // tsens03: ALU cluster (EX stage) - best
+		{2.0 * mm, 0.25 * mm},  // tsens04: L2 strip - poor
+		{3.8 * mm, 2.85 * mm},  // tsens05: uncore corner - poor
+		{0.65 * mm, 2.35 * mm}, // tsens06: L1I / front end - poor
+	}
+}
+
+// Pipeline is one instantiated simulation. Not safe for concurrent use;
+// run independent simulations on separate Pipelines.
+type Pipeline struct {
+	cfg Config
+
+	fp       *floorplan.Floorplan
+	core     *arch.Core
+	pow      *power.Model
+	therm    *thermal.Model
+	mapper   *thermal.Mapper
+	analyzer *hotspot.Analyzer
+	sensors  *hotspot.SensorArray
+
+	time       float64
+	blockTemp  []float64
+	blockAct   []float64
+	blockPower []float64
+	cellPower  []float64
+}
+
+// New builds a pipeline over the default Skylake-like floorplan.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fp := floorplan.SkylakeLike()
+	core, err := arch.NewCore(cfg.Core, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pow, err := power.NewModel(fp, cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+	therm, err := thermal.New(cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := thermal.NewMapper(fp, therm)
+	if err != nil {
+		return nil, err
+	}
+	analyzer, err := hotspot.NewAnalyzer(therm.NX(), therm.NY(), therm.CellW(), therm.CellH(), cfg.Severity)
+	if err != nil {
+		return nil, err
+	}
+
+	delaySteps := int(cfg.SensorDelaySec/cfg.TimestepSec + 0.5)
+	spots := defaultSensorSpots()
+	sensors := make([]hotspot.Sensor, len(spots))
+	for i, s := range spots {
+		x, y := therm.CellAt(s[0], s[1])
+		sensors[i] = hotspot.Sensor{
+			Name: fmt.Sprintf("tsens%02d", i),
+			XM:   s[0], YM: s[1],
+			Cell: y*therm.NX() + x,
+		}
+	}
+	sa, err := hotspot.NewSensorArray(sensors, delaySteps)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Pipeline{
+		cfg:        cfg,
+		fp:         fp,
+		core:       core,
+		pow:        pow,
+		therm:      therm,
+		mapper:     mapper,
+		analyzer:   analyzer,
+		sensors:    sa,
+		blockTemp:  make([]float64, len(fp.Blocks)),
+		blockAct:   make([]float64, len(fp.Blocks)),
+		blockPower: make([]float64, len(fp.Blocks)),
+		cellPower:  make([]float64, therm.NumCells()),
+	}
+	p.Reset()
+	return p, nil
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Floorplan returns the die layout.
+func (p *Pipeline) Floorplan() *floorplan.Floorplan { return p.fp }
+
+// Thermal returns the thermal model (for inspection; do not mutate).
+func (p *Pipeline) Thermal() *thermal.Model { return p.therm }
+
+// Sensors returns the sensor array.
+func (p *Pipeline) Sensors() *hotspot.SensorArray { return p.sensors }
+
+// NumSensors returns the sensor count.
+func (p *Pipeline) NumSensors() int { return len(p.sensors.Sensors()) }
+
+// Time returns the simulated time in seconds since the last Reset.
+func (p *Pipeline) Time() float64 { return p.time }
+
+// Reset returns the pipeline to its initial condition: cold structures,
+// die at ambient, sensor history pre-filled at ambient, t = 0.
+func (p *Pipeline) Reset() {
+	p.core.Reset(p.cfg.Seed)
+	p.therm.Reset(p.cfg.Thermal.Ambient)
+	p.sensors.Reset(p.cfg.Thermal.Ambient)
+	p.time = 0
+}
+
+// updateBlockTemps computes per-block mean die temperature.
+func (p *Pipeline) updateBlockTemps() {
+	die := p.therm.Die()
+	for b := range p.blockTemp {
+		cells := p.mapper.CellsOf(b)
+		s := 0.0
+		for _, c := range cells {
+			s += die[c]
+		}
+		p.blockTemp[b] = s / float64(len(cells))
+	}
+}
+
+// StepResult is the telemetry of one pipeline timestep.
+type StepResult struct {
+	// Time at the end of the step, seconds.
+	Time float64
+	// FrequencyGHz and Voltage are the operating point used.
+	FrequencyGHz float64
+	Voltage      float64
+	// Counters is the core telemetry for the interval.
+	Counters arch.Counters
+	// TotalPower is the whole-die power in watts.
+	TotalPower float64
+	// Severity is the ground-truth hotspot analysis of the die at the end
+	// of the step.
+	Severity hotspot.ChipSeverity
+	// SensorDelayed holds the delayed reading of every sensor (what a
+	// real controller sees).
+	SensorDelayed []float64
+	// SensorCurrent holds the instantaneous sensor-location temperatures
+	// (ground truth at the same spots).
+	SensorCurrent []float64
+}
+
+// Step advances the pipeline one timestep with the workload run at the
+// given frequency. The voltage is looked up from the Table I VF curve.
+func (p *Pipeline) Step(run *workload.Run, fGHz float64) (StepResult, error) {
+	volt := power.VoltageFor(fGHz)
+	params := run.ParamsAt(p.time)
+
+	counters, err := p.core.Step(params, fGHz, volt, p.cfg.TimestepSec)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("sim: core step: %w", err)
+	}
+
+	act := arch.ActivityVector(counters)
+	for b := range p.blockAct {
+		p.blockAct[b] = act[p.fp.Blocks[b].Unit]
+	}
+	p.updateBlockTemps()
+	if _, err := p.pow.Compute(p.blockAct, fGHz, volt, p.blockTemp, p.blockPower); err != nil {
+		return StepResult{}, fmt.Errorf("sim: power: %w", err)
+	}
+	if _, err := p.mapper.Distribute(p.blockPower, p.cellPower); err != nil {
+		return StepResult{}, fmt.Errorf("sim: power map: %w", err)
+	}
+	if err := p.therm.StepFor(p.cellPower, p.cfg.TimestepSec); err != nil {
+		return StepResult{}, fmt.Errorf("sim: thermal: %w", err)
+	}
+
+	die := p.therm.Die()
+	sev, err := p.analyzer.Analyze(die)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("sim: severity: %w", err)
+	}
+	if err := p.sensors.Record(die); err != nil {
+		return StepResult{}, fmt.Errorf("sim: sensors: %w", err)
+	}
+
+	p.time += p.cfg.TimestepSec
+	n := p.NumSensors()
+	res := StepResult{
+		Time:          p.time,
+		FrequencyGHz:  fGHz,
+		Voltage:       volt,
+		Counters:      counters,
+		TotalPower:    power.Total(p.blockPower),
+		Severity:      sev,
+		SensorDelayed: make([]float64, n),
+		SensorCurrent: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		res.SensorDelayed[i] = p.sensors.Read(i)
+		res.SensorCurrent[i] = p.sensors.Current(i)
+	}
+	return res, nil
+}
+
+// WarmStart resets the pipeline and primes its thermal state: the
+// workload is probed for a few steps at fGHz to estimate its average
+// power map, the thermal network is set to the steady state of
+// WarmStartFraction of that power, and the sensors/core/clock are reset
+// so the measured run starts from a realistically warm chip.
+func (p *Pipeline) WarmStart(w *workload.Workload, fGHz float64) error {
+	p.Reset()
+	if p.cfg.WarmStartFraction == 0 {
+		return nil
+	}
+	run := w.NewRun(p.cfg.Seed ^ 0xdead)
+	avg := make([]float64, len(p.cellPower))
+	for i := 0; i < p.cfg.WarmStartProbeSteps; i++ {
+		if _, err := p.Step(run, fGHz); err != nil {
+			return fmt.Errorf("sim: warm-start probe: %w", err)
+		}
+		for c, pw := range p.cellPower {
+			avg[c] += pw
+		}
+	}
+	scale := p.cfg.WarmStartFraction / float64(p.cfg.WarmStartProbeSteps)
+	for c := range avg {
+		avg[c] *= scale
+	}
+	p.core.Reset(p.cfg.Seed)
+	if err := p.therm.SteadyState(avg, 1e-4, 0); err != nil {
+		return fmt.Errorf("sim: warm-start steady state: %w", err)
+	}
+	// Pre-fill sensor history with the warm readings.
+	die := p.therm.Die()
+	for i := 0; i < p.sensors.DelaySteps()+1; i++ {
+		if err := p.sensors.Record(die); err != nil {
+			return err
+		}
+	}
+	p.time = 0
+	return nil
+}
+
+// RunStatic warm-starts the pipeline and runs the named workload at a
+// fixed frequency for the given number of timesteps, returning the trace.
+func (p *Pipeline) RunStatic(name string, fGHz float64, steps int) ([]StepResult, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("sim: non-positive step count")
+	}
+	if err := p.WarmStart(w, fGHz); err != nil {
+		return nil, err
+	}
+	run := w.NewRun(p.cfg.Seed)
+	trace := make([]StepResult, 0, steps)
+	for i := 0; i < steps; i++ {
+		r, err := p.Step(run, fGHz)
+		if err != nil {
+			return nil, err
+		}
+		trace = append(trace, r)
+	}
+	return trace, nil
+}
+
+// PeakSeverity returns the maximum ground-truth severity over a trace.
+func PeakSeverity(trace []StepResult) float64 {
+	peak := 0.0
+	for i := range trace {
+		if trace[i].Severity.Max > peak {
+			peak = trace[i].Severity.Max
+		}
+	}
+	return peak
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/sim"
+)
+
+// BuildConfig describes a dataset-extraction campaign: fixed-frequency
+// runs of each workload with instances sampled every timestep.
+type BuildConfig struct {
+	// Sim is the pipeline configuration.
+	Sim sim.Config
+	// Workloads to run.
+	Workloads []string
+	// Frequencies (GHz) to run each workload at.
+	Frequencies []float64
+	// StepsPerRun is the trace length per (workload, frequency) run
+	// (150 steps = 12 ms in the paper).
+	StepsPerRun int
+	// Horizon is the prediction horizon in steps: the label of instance t
+	// is max severity over (t, t+Horizon]. The default is 60 steps
+	// (~5 ms): long enough that committing to a frequency reveals its
+	// full thermal consequence, which is what the controller needs to
+	// decide whether a climb is safe (a one-interval horizon cannot see
+	// past the bulk-heating lag and produces oscillating controllers).
+	Horizon int
+	// SensorIndex selects which thermal sensor feeds the sensor feature.
+	SensorIndex int
+}
+
+// DefaultBuildConfig returns the standard extraction campaign over the
+// given workloads: all 13 frequencies, 150-step runs, 12-step horizon,
+// sensor tsens03.
+func DefaultBuildConfig(workloads []string, freqs []float64) BuildConfig {
+	return BuildConfig{
+		Sim:         sim.DefaultConfig(),
+		Workloads:   workloads,
+		Frequencies: freqs,
+		StepsPerRun: 150,
+		Horizon:     60,
+		SensorIndex: sim.DefaultSensorIndex,
+	}
+}
+
+// Validate reports configuration errors.
+func (c BuildConfig) Validate() error {
+	if err := c.Sim.Validate(); err != nil {
+		return err
+	}
+	if len(c.Workloads) == 0 || len(c.Frequencies) == 0 {
+		return fmt.Errorf("telemetry: empty workload or frequency list")
+	}
+	if c.StepsPerRun <= 0 || c.Horizon <= 0 || c.Horizon >= c.StepsPerRun {
+		return fmt.Errorf("telemetry: need 0 < horizon < steps, got %d/%d", c.Horizon, c.StepsPerRun)
+	}
+	if c.SensorIndex < 0 {
+		return fmt.Errorf("telemetry: negative sensor index")
+	}
+	return nil
+}
+
+// Build runs the extraction campaign and returns the labelled dataset
+// with the full 78-feature schema. The delayed sensor reading is used for
+// the sensor feature - the model must work with what real hardware sees.
+func Build(cfg BuildConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds := NewDataset(FullFeatureNames())
+	p, err := sim.New(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SensorIndex >= p.NumSensors() {
+		return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
+	}
+	for _, name := range cfg.Workloads {
+		for _, f := range cfg.Frequencies {
+			trace, err := p.RunStatic(name, f, cfg.StepsPerRun)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: %s @ %g GHz: %w", name, f, err)
+			}
+			if err := AppendTrace(ds, trace, name, cfg.Horizon, cfg.SensorIndex); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}
+
+// AppendTrace converts one simulation trace into labelled instances and
+// appends them to ds. Instances within Horizon of the trace end are
+// dropped (their labels would be truncated).
+func AppendTrace(ds *Dataset, trace []sim.StepResult, workload string, horizon, sensorIndex int) error {
+	if horizon <= 0 {
+		return fmt.Errorf("telemetry: non-positive horizon")
+	}
+	for t := 0; t+horizon < len(trace); t++ {
+		r := &trace[t]
+		label := 0.0
+		for h := 1; h <= horizon; h++ {
+			if s := trace[t+h].Severity.Max; s > label {
+				label = s
+			}
+		}
+		x := Extract(r.Counters, r.SensorDelayed[sensorIndex])
+		if err := ds.Add(x, label, workload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises the dataset: header row of feature names plus the
+// "severity_label" and "workload" columns, then one row per instance.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, d.FeatureNames...), "severity_label", "workload")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := range d.X {
+		for j, v := range d.X[i] {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[len(row)-2] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		row[len(row)-1] = d.Workloads[i]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: reading CSV header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("telemetry: CSV header too short (%d columns)", len(header))
+	}
+	if header[len(header)-2] != "severity_label" || header[len(header)-1] != "workload" {
+		return nil, fmt.Errorf("telemetry: CSV missing severity_label/workload columns")
+	}
+	d := NewDataset(header[: len(header)-2 : len(header)-2])
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: CSV line %d: %w", line, err)
+		}
+		x := make([]float64, len(d.FeatureNames))
+		for j := range x {
+			if x[j], err = strconv.ParseFloat(rec[j], 64); err != nil {
+				return nil, fmt.Errorf("telemetry: CSV line %d col %d: %w", line, j+1, err)
+			}
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: CSV line %d label: %w", line, err)
+		}
+		if err := d.Add(x, y, rec[len(rec)-1]); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

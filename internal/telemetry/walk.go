@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/rng"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// WalkConfig describes a frequency-walk extraction campaign: each
+// workload is run under a random frequency schedule (each frequency held
+// for HoldSteps), producing instances in the state space a closed-loop
+// controller actually visits - including "cool chip at high frequency"
+// transition states that fixed-frequency runs never contain. Without
+// these, a severity model degenerates to a pure temperature lookup and
+// cannot evaluate what happens after a frequency change.
+type WalkConfig struct {
+	Sim sim.Config
+	// Workloads to run.
+	Workloads []string
+	// Frequencies is the allowed operating set (ordered ascending).
+	Frequencies []float64
+	// StepsPerWalk is the trace length of one walk.
+	StepsPerWalk int
+	// HoldSteps is how long each frequency is held. Only instances whose
+	// entire label horizon fits inside the current hold are emitted, so
+	// each label is cleanly conditioned on one committed frequency.
+	HoldSteps int
+	// Horizon is the label horizon in steps.
+	Horizon int
+	// WalksPerWorkload repeats the walk with different seeds.
+	WalksPerWorkload int
+	// SensorIndex selects the sensor feature source.
+	SensorIndex int
+	// Seed drives the schedule generator.
+	Seed uint64
+}
+
+// DefaultWalkConfig returns the standard walk campaign. Walks are
+// restricted to the upper portion of the frequency range: controller
+// decisions only matter near the safe-frequency ceilings, and spending
+// the walk budget there doubles the coverage of the danger boundary (the
+// static sweeps already cover the low bins).
+func DefaultWalkConfig(workloads []string, freqs []float64) WalkConfig {
+	if len(freqs) > 8 {
+		freqs = freqs[len(freqs)-8:]
+	}
+	return WalkConfig{
+		Sim:              sim.DefaultConfig(),
+		Workloads:        workloads,
+		Frequencies:      freqs,
+		StepsPerWalk:     600,
+		HoldSteps:        78,
+		Horizon:          60,
+		WalksPerWorkload: 5,
+		SensorIndex:      sim.DefaultSensorIndex,
+		Seed:             1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c WalkConfig) Validate() error {
+	if err := c.Sim.Validate(); err != nil {
+		return err
+	}
+	if len(c.Workloads) == 0 || len(c.Frequencies) < 2 {
+		return fmt.Errorf("telemetry: walk needs workloads and >=2 frequencies")
+	}
+	if c.StepsPerWalk <= 0 || c.HoldSteps <= 0 || c.WalksPerWorkload <= 0 {
+		return fmt.Errorf("telemetry: non-positive walk sizing")
+	}
+	if c.Horizon <= 0 || c.Horizon >= c.HoldSteps {
+		return fmt.Errorf("telemetry: need 0 < horizon < hold, got %d/%d", c.Horizon, c.HoldSteps)
+	}
+	if c.SensorIndex < 0 {
+		return fmt.Errorf("telemetry: negative sensor index")
+	}
+	return nil
+}
+
+// BuildWalk runs the campaign and returns the labelled dataset (full
+// 78-feature schema, mergeable with Build's output).
+func BuildWalk(cfg WalkConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds := NewDataset(FullFeatureNames())
+	p, err := sim.New(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SensorIndex >= p.NumSensors() {
+		return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
+	}
+	for _, name := range cfg.Workloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for walk := 0; walk < cfg.WalksPerWorkload; walk++ {
+			r := rng.New(cfg.Seed ^ uint64(walk+1)*0x9e3779b97f4a7c15 ^ hashName(name))
+			fi := r.Intn(len(cfg.Frequencies))
+			if err := p.WarmStart(w, cfg.Frequencies[fi]); err != nil {
+				return nil, err
+			}
+			run := w.NewRun(cfg.Sim.Seed + uint64(walk))
+
+			trace := make([]sim.StepResult, 0, cfg.StepsPerWalk)
+			holds := make([]int, 0, cfg.StepsPerWalk) // hold-start index per step
+			holdStart := 0
+			for step := 0; step < cfg.StepsPerWalk; step++ {
+				if step > 0 && step%cfg.HoldSteps == 0 {
+					// Random move of 1-2 bins, occasionally a long jump,
+					// bounded to the allowed range.
+					delta := 1 + r.Intn(2)
+					if r.Bernoulli(0.15) {
+						delta += 2
+					}
+					if r.Bernoulli(0.5) {
+						delta = -delta
+					}
+					fi += delta
+					if fi < 0 {
+						fi = 0
+					}
+					if fi >= len(cfg.Frequencies) {
+						fi = len(cfg.Frequencies) - 1
+					}
+					holdStart = step
+				}
+				res, err := p.Step(run, cfg.Frequencies[fi])
+				if err != nil {
+					return nil, err
+				}
+				trace = append(trace, res)
+				holds = append(holds, holdStart)
+			}
+
+			// Emit instances whose horizon stays within one hold.
+			for t := 0; t+cfg.Horizon < len(trace); t++ {
+				if holds[t+cfg.Horizon] != holds[t] {
+					continue
+				}
+				label := 0.0
+				for h := 1; h <= cfg.Horizon; h++ {
+					if s := trace[t+h].Severity.Max; s > label {
+						label = s
+					}
+				}
+				x := Extract(trace[t].Counters, trace[t].SensorDelayed[cfg.SensorIndex])
+				if err := ds.Add(x, label, name); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ds, nil
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,105 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hotgauge/boreas/internal/floorplan"
+	"github.com/hotgauge/boreas/internal/rng"
+)
+
+func TestMapperNumCells(t *testing.T) {
+	fp := floorplan.SkylakeLike()
+	m := mustNew(t, DefaultConfig())
+	mp, err := NewMapper(fp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.NumCells() != m.NumCells() {
+		t.Fatalf("NumCells %d vs %d", mp.NumCells(), m.NumCells())
+	}
+}
+
+func TestMapperConservationProperty(t *testing.T) {
+	fp := floorplan.SkylakeLike()
+	m := mustNew(t, DefaultConfig())
+	mp, err := NewMapper(fp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		bp := make([]float64, len(fp.Blocks))
+		want := 0.0
+		for i := range bp {
+			bp[i] = 10 * r.Float64()
+			want += bp[i]
+		}
+		cells, err := mp.Distribute(bp, nil)
+		if err != nil {
+			return false
+		}
+		got := 0.0
+		for _, p := range cells {
+			got += p
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteadyStateIndependentOfInitialState(t *testing.T) {
+	cfg := smallConfig()
+	power := make([]float64, cfg.NX*cfg.NY)
+	power[10] = 3
+
+	cold := mustNew(t, cfg)
+	if err := cold.SteadyState(power, 1e-8, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	hot := mustNew(t, cfg)
+	hot.Reset(120)
+	if err := hot.SteadyState(power, 1e-8, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Die() {
+		if d := math.Abs(cold.Die()[i] - hot.Die()[i]); d > 1e-3 {
+			t.Fatalf("steady state depends on initial condition at cell %d: %v", i, d)
+		}
+	}
+}
+
+func TestHotterAmbientShiftsEverything(t *testing.T) {
+	cfgA := smallConfig()
+	cfgB := smallConfig()
+	cfgB.Ambient = cfgA.Ambient + 10
+	a := mustNew(t, cfgA)
+	b := mustNew(t, cfgB)
+	power := make([]float64, a.NumCells())
+	for i := range power {
+		power[i] = 10.0 / float64(len(power))
+	}
+	if err := a.SteadyState(power, 1e-8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SteadyState(power, 1e-8, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Die() {
+		shift := b.Die()[i] - a.Die()[i]
+		if math.Abs(shift-10) > 0.01 {
+			t.Fatalf("ambient shift not uniform: %v at cell %d", shift, i)
+		}
+	}
+}
+
+func TestSteadyStateRejectsBadInput(t *testing.T) {
+	m := mustNew(t, smallConfig())
+	if err := m.SteadyState(make([]float64, 2), 1e-6, 10); err == nil {
+		t.Fatal("expected size error")
+	}
+}

@@ -1,0 +1,80 @@
+package thermal
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/floorplan"
+)
+
+// Mapper distributes per-block power onto the thermal grid. Each block's
+// power is spread uniformly over the cells whose centres fall inside the
+// block's rectangle. The mapper is immutable after construction and safe
+// for concurrent use.
+type Mapper struct {
+	n     int
+	cells [][]int // block index -> grid cell indices
+}
+
+// NewMapper builds the block-to-cell mapping for the given floorplan on a
+// grid matching the model's resolution. It fails if some block covers no
+// cell centre (grid too coarse for the floorplan).
+func NewMapper(fp *floorplan.Floorplan, m *Model) (*Mapper, error) {
+	cfg := m.Config()
+	if fp.DieW != cfg.DieW || fp.DieH != cfg.DieH {
+		return nil, fmt.Errorf("thermal: floorplan die %gx%g does not match thermal die %gx%g",
+			fp.DieW, fp.DieH, cfg.DieW, cfg.DieH)
+	}
+	mp := &Mapper{n: m.NumCells(), cells: make([][]int, len(fp.Blocks))}
+	for y := 0; y < m.NY(); y++ {
+		cy := (float64(y) + 0.5) * m.CellH()
+		for x := 0; x < m.NX(); x++ {
+			cx := (float64(x) + 0.5) * m.CellW()
+			b := fp.BlockAt(cx, cy)
+			if b >= 0 {
+				mp.cells[b] = append(mp.cells[b], y*m.NX()+x)
+			}
+		}
+	}
+	for b := range mp.cells {
+		if len(mp.cells[b]) == 0 {
+			return nil, fmt.Errorf("thermal: block %q covers no grid cell; increase resolution",
+				fp.Blocks[b].Name)
+		}
+	}
+	return mp, nil
+}
+
+// NumCells returns the grid size the mapper was built for.
+func (mp *Mapper) NumCells() int { return mp.n }
+
+// CellsOf returns the grid cells assigned to block b. The slice is owned
+// by the mapper; callers must not modify it.
+func (mp *Mapper) CellsOf(b int) []int { return mp.cells[b] }
+
+// Distribute writes the per-cell power map for the given per-block powers
+// into dst (which must have NumCells elements) and returns it. Block power
+// is divided evenly among the block's cells. dst is zeroed first.
+func (mp *Mapper) Distribute(blockPower []float64, dst []float64) ([]float64, error) {
+	if len(blockPower) != len(mp.cells) {
+		return nil, fmt.Errorf("thermal: got %d block powers, want %d", len(blockPower), len(mp.cells))
+	}
+	if dst == nil {
+		dst = make([]float64, mp.n)
+	}
+	if len(dst) != mp.n {
+		return nil, fmt.Errorf("thermal: dst has %d cells, want %d", len(dst), mp.n)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for b, p := range blockPower {
+		if p == 0 {
+			continue
+		}
+		share := p / float64(len(mp.cells[b]))
+		for _, c := range mp.cells[b] {
+			dst[c] += share
+		}
+	}
+	return dst, nil
+}

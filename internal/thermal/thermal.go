@@ -1,0 +1,404 @@
+// Package thermal implements a compact RC thermal model of the simulated
+// die, in the style of HotSpot: the silicon die is discretised into an
+// NX x NY grid of cells, each cell connected laterally to its neighbours
+// and vertically through a thermal-interface material to a copper heat
+// spreader modelled at the same resolution; the spreader drains into a
+// lumped heatsink node which convects to ambient.
+//
+// The transient solver is explicit forward Euler with a stability-checked
+// substep derived from the smallest thermal time constant in the network.
+// A Gauss-Seidel steady-state solver is provided for initialisation and
+// for the static (fixed-frequency) experiment sweeps.
+//
+// Temperatures are degrees Celsius, power is watts, geometry is metres.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Material describes an isotropic solid layer.
+type Material struct {
+	// Conductivity is thermal conductivity in W/(m*K).
+	Conductivity float64
+	// VolumetricHeatCapacity is in J/(m^3*K).
+	VolumetricHeatCapacity float64
+}
+
+// Config parametrises the thermal network.
+type Config struct {
+	// NX, NY are the grid resolution across the die.
+	NX, NY int
+	// DieW, DieH are die dimensions in metres.
+	DieW, DieH float64
+	// DieThickness is the (thinned) silicon thickness in metres.
+	DieThickness float64
+	// Silicon is the die material.
+	Silicon Material
+	// TIMThickness and TIMConductivity describe the thermal interface
+	// material between die and spreader.
+	TIMThickness    float64
+	TIMConductivity float64
+	// SpreaderThickness is the copper spreader thickness in metres. The
+	// spreader shares the die footprint at grid resolution.
+	SpreaderThickness float64
+	// Spreader is the spreader material (copper).
+	Spreader Material
+	// SpreaderToSinkResistanceArea is the specific thermal resistance
+	// between spreader and sink in K*m^2/W.
+	SpreaderToSinkResistanceArea float64
+	// SinkHeatCapacity is the lumped sink capacity in J/K.
+	SinkHeatCapacity float64
+	// SinkToAmbientResistance is the convective resistance in K/W.
+	SinkToAmbientResistance float64
+	// Ambient is the ambient temperature in Celsius.
+	Ambient float64
+}
+
+// DefaultConfig returns the configuration used by all experiments: a
+// 48 x 36 grid over the 4 x 3 mm die, 0.3 mm thinned silicon, 20 um TIM,
+// 1 mm copper spreader, desktop-class sink.
+func DefaultConfig() Config {
+	return Config{
+		NX: 48, NY: 36,
+		DieW: 4e-3, DieH: 3e-3,
+		DieThickness:                 0.3e-3,
+		Silicon:                      Material{Conductivity: 110, VolumetricHeatCapacity: 1.75e6},
+		TIMThickness:                 20e-6,
+		TIMConductivity:              8,
+		SpreaderThickness:            1e-3,
+		Spreader:                     Material{Conductivity: 400, VolumetricHeatCapacity: 3.45e6},
+		SpreaderToSinkResistanceArea: 1.2e-5,
+		SinkHeatCapacity:             60,
+		SinkToAmbientResistance:      0.45,
+		Ambient:                      45,
+	}
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c Config) Validate() error {
+	switch {
+	case c.NX < 2 || c.NY < 2:
+		return fmt.Errorf("thermal: grid must be at least 2x2, got %dx%d", c.NX, c.NY)
+	case c.DieW <= 0 || c.DieH <= 0:
+		return fmt.Errorf("thermal: non-positive die size")
+	case c.DieThickness <= 0 || c.TIMThickness <= 0 || c.SpreaderThickness <= 0:
+		return fmt.Errorf("thermal: non-positive layer thickness")
+	case c.Silicon.Conductivity <= 0 || c.Spreader.Conductivity <= 0 || c.TIMConductivity <= 0:
+		return fmt.Errorf("thermal: non-positive conductivity")
+	case c.Silicon.VolumetricHeatCapacity <= 0 || c.Spreader.VolumetricHeatCapacity <= 0:
+		return fmt.Errorf("thermal: non-positive heat capacity")
+	case c.SpreaderToSinkResistanceArea <= 0 || c.SinkToAmbientResistance <= 0 || c.SinkHeatCapacity <= 0:
+		return fmt.Errorf("thermal: non-positive sink parameters")
+	}
+	return nil
+}
+
+// Model is the instantiated thermal network. It is not safe for concurrent
+// use; each simulation owns one Model.
+type Model struct {
+	cfg Config
+
+	nx, ny int
+	n      int // nx*ny
+
+	// Cell geometry.
+	cellW, cellH, cellA float64
+
+	// Conductances (W/K).
+	gxDie, gyDie float64 // lateral, die layer
+	gxSpr, gySpr float64 // lateral, spreader layer
+	gTIM         float64 // die cell -> spreader cell
+	gSink        float64 // spreader cell -> sink node
+	gAmb         float64 // sink -> ambient
+
+	// Heat capacities (J/K).
+	cDie, cSpr, cSink float64
+
+	// State: temperatures in Celsius.
+	die  []float64
+	spr  []float64
+	sink float64
+
+	// Scratch buffers for the integrator.
+	dieNext, sprNext []float64
+
+	maxDt float64
+}
+
+// New builds a Model from cfg with all nodes at ambient.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg, nx: cfg.NX, ny: cfg.NY, n: cfg.NX * cfg.NY}
+	m.cellW = cfg.DieW / float64(cfg.NX)
+	m.cellH = cfg.DieH / float64(cfg.NY)
+	m.cellA = m.cellW * m.cellH
+
+	m.gxDie = cfg.Silicon.Conductivity * cfg.DieThickness * m.cellH / m.cellW
+	m.gyDie = cfg.Silicon.Conductivity * cfg.DieThickness * m.cellW / m.cellH
+	m.gxSpr = cfg.Spreader.Conductivity * cfg.SpreaderThickness * m.cellH / m.cellW
+	m.gySpr = cfg.Spreader.Conductivity * cfg.SpreaderThickness * m.cellW / m.cellH
+	m.gTIM = cfg.TIMConductivity * m.cellA / cfg.TIMThickness
+	m.gSink = m.cellA / cfg.SpreaderToSinkResistanceArea
+	m.gAmb = 1 / cfg.SinkToAmbientResistance
+
+	m.cDie = cfg.Silicon.VolumetricHeatCapacity * m.cellA * cfg.DieThickness
+	m.cSpr = cfg.Spreader.VolumetricHeatCapacity * m.cellA * cfg.SpreaderThickness
+	m.cSink = cfg.SinkHeatCapacity
+
+	m.die = make([]float64, m.n)
+	m.spr = make([]float64, m.n)
+	m.dieNext = make([]float64, m.n)
+	m.sprNext = make([]float64, m.n)
+	m.Reset(cfg.Ambient)
+
+	// Stability: dt <= C / sum(G) for the stiffest node, with margin.
+	gDieMax := 2*m.gxDie + 2*m.gyDie + m.gTIM
+	gSprMax := 2*m.gxSpr + 2*m.gySpr + m.gTIM + m.gSink
+	m.maxDt = 0.5 * math.Min(m.cDie/gDieMax, m.cSpr/gSprMax)
+	return m, nil
+}
+
+// Config returns the configuration the model was built from.
+func (m *Model) Config() Config { return m.cfg }
+
+// NX returns the grid width in cells.
+func (m *Model) NX() int { return m.nx }
+
+// NY returns the grid height in cells.
+func (m *Model) NY() int { return m.ny }
+
+// NumCells returns NX*NY.
+func (m *Model) NumCells() int { return m.n }
+
+// CellW returns the cell width in metres.
+func (m *Model) CellW() float64 { return m.cellW }
+
+// CellH returns the cell height in metres.
+func (m *Model) CellH() float64 { return m.cellH }
+
+// MaxStableDt returns the largest explicit-integration substep (seconds)
+// that keeps the solver stable.
+func (m *Model) MaxStableDt() float64 { return m.maxDt }
+
+// Reset sets every node to temperature t.
+func (m *Model) Reset(t float64) {
+	for i := range m.die {
+		m.die[i] = t
+		m.spr[i] = t
+	}
+	m.sink = t
+}
+
+// Die returns the die-layer temperature grid in row-major order
+// (index = y*NX + x). The returned slice aliases model state; callers must
+// not modify it and must copy if they need a stable snapshot.
+func (m *Model) Die() []float64 { return m.die }
+
+// Spreader returns the spreader-layer temperatures (same layout as Die).
+func (m *Model) Spreader() []float64 { return m.spr }
+
+// Sink returns the lumped sink temperature.
+func (m *Model) Sink() float64 { return m.sink }
+
+// CellTemp returns the die temperature at cell (x, y).
+func (m *Model) CellTemp(x, y int) float64 { return m.die[y*m.nx+x] }
+
+// CellAt maps die coordinates in metres to the containing cell indices,
+// clamped to the grid.
+func (m *Model) CellAt(xm, ym float64) (x, y int) {
+	x = int(xm / m.cellW)
+	y = int(ym / m.cellH)
+	if x < 0 {
+		x = 0
+	}
+	if x >= m.nx {
+		x = m.nx - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= m.ny {
+		y = m.ny - 1
+	}
+	return x, y
+}
+
+// MaxDieTemp returns the hottest die-cell temperature.
+func (m *Model) MaxDieTemp() float64 {
+	max := m.die[0]
+	for _, t := range m.die[1:] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// step advances the network by one raw Euler substep. power is W per die
+// cell, len NX*NY.
+func (m *Model) step(power []float64, dt float64) {
+	nx, ny := m.nx, m.ny
+	die, spr := m.die, m.spr
+	dieN, sprN := m.dieNext, m.sprNext
+
+	sinkFlow := 0.0
+	for y := 0; y < ny; y++ {
+		row := y * nx
+		for x := 0; x < nx; x++ {
+			i := row + x
+			t := die[i]
+			var q float64
+			if x > 0 {
+				q += m.gxDie * (die[i-1] - t)
+			}
+			if x < nx-1 {
+				q += m.gxDie * (die[i+1] - t)
+			}
+			if y > 0 {
+				q += m.gyDie * (die[i-nx] - t)
+			}
+			if y < ny-1 {
+				q += m.gyDie * (die[i+nx] - t)
+			}
+			q += m.gTIM * (spr[i] - t)
+			q += power[i]
+			dieN[i] = t + dt*q/m.cDie
+
+			ts := spr[i]
+			var qs float64
+			if x > 0 {
+				qs += m.gxSpr * (spr[i-1] - ts)
+			}
+			if x < nx-1 {
+				qs += m.gxSpr * (spr[i+1] - ts)
+			}
+			if y > 0 {
+				qs += m.gySpr * (spr[i-nx] - ts)
+			}
+			if y < ny-1 {
+				qs += m.gySpr * (spr[i+nx] - ts)
+			}
+			qs += m.gTIM * (t - ts)
+			toSink := m.gSink * (ts - m.sink)
+			qs -= toSink
+			sinkFlow += toSink
+			sprN[i] = ts + dt*qs/m.cSpr
+		}
+	}
+	m.sink += dt * (sinkFlow - m.gAmb*(m.sink-m.cfg.Ambient)) / m.cSink
+	m.die, m.dieNext = dieN, die
+	m.spr, m.sprNext = sprN, spr
+}
+
+// StepFor advances the model by duration seconds while the die dissipates
+// the given per-cell power map (held constant across the interval). The
+// duration is divided into stable substeps automatically.
+func (m *Model) StepFor(power []float64, duration float64) error {
+	if len(power) != m.n {
+		return fmt.Errorf("thermal: power map has %d cells, want %d", len(power), m.n)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("thermal: non-positive duration %g", duration)
+	}
+	steps := int(math.Ceil(duration / m.maxDt))
+	if steps < 1 {
+		steps = 1
+	}
+	dt := duration / float64(steps)
+	for s := 0; s < steps; s++ {
+		m.step(power, dt)
+	}
+	return nil
+}
+
+// SteadyState solves the network's equilibrium under the given power map
+// using Gauss-Seidel iteration and installs it as the current state.
+// tol is the maximum per-sweep temperature change (Celsius) at
+// convergence; maxIter bounds the sweep count.
+func (m *Model) SteadyState(power []float64, tol float64, maxIter int) error {
+	if len(power) != m.n {
+		return fmt.Errorf("thermal: power map has %d cells, want %d", len(power), m.n)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	if maxIter <= 0 {
+		maxIter = 20000
+	}
+	nx, ny := m.nx, m.ny
+	die, spr := m.die, m.spr
+
+	// Sink equilibrium: all power eventually exits via the sink.
+	total := 0.0
+	for _, p := range power {
+		total += p
+	}
+	m.sink = m.cfg.Ambient + total*m.cfg.SinkToAmbientResistance
+
+	for iter := 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for y := 0; y < ny; y++ {
+			row := y * nx
+			for x := 0; x < nx; x++ {
+				i := row + x
+				// Die node.
+				num := power[i] + m.gTIM*spr[i]
+				den := m.gTIM
+				if x > 0 {
+					num += m.gxDie * die[i-1]
+					den += m.gxDie
+				}
+				if x < nx-1 {
+					num += m.gxDie * die[i+1]
+					den += m.gxDie
+				}
+				if y > 0 {
+					num += m.gyDie * die[i-nx]
+					den += m.gyDie
+				}
+				if y < ny-1 {
+					num += m.gyDie * die[i+nx]
+					den += m.gyDie
+				}
+				nt := num / den
+				if d := math.Abs(nt - die[i]); d > maxDelta {
+					maxDelta = d
+				}
+				die[i] = nt
+
+				// Spreader node.
+				num = m.gTIM*die[i] + m.gSink*m.sink
+				den = m.gTIM + m.gSink
+				if x > 0 {
+					num += m.gxSpr * spr[i-1]
+					den += m.gxSpr
+				}
+				if x < nx-1 {
+					num += m.gxSpr * spr[i+1]
+					den += m.gxSpr
+				}
+				if y > 0 {
+					num += m.gySpr * spr[i-nx]
+					den += m.gySpr
+				}
+				if y < ny-1 {
+					num += m.gySpr * spr[i+nx]
+					den += m.gySpr
+				}
+				nt = num / den
+				if d := math.Abs(nt - spr[i]); d > maxDelta {
+					maxDelta = d
+				}
+				spr[i] = nt
+			}
+		}
+		if maxDelta < tol {
+			return nil
+		}
+	}
+	return fmt.Errorf("thermal: steady state did not converge in %d iterations", maxIter)
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/arch"
+)
+
+// Archetype phase builders. Working sets are bytes.
+
+// fpVector is a wide-vector FP kernel: the hotspot archetype (dense MACs
+// concentrated in the FPU block).
+func fpVector(width float64, ws int, seq float64) arch.PhaseParams {
+	return arch.PhaseParams{
+		BaseCPI: 0.3,
+		FracInt: 0.2, FracMul: 0.04, FracDiv: 0.005, FracFP: 0.55,
+		FracLoad: 0.25, FracStore: 0.12, FracBranch: 0.06,
+		FPWidth:        width,
+		DataWorkingSet: ws, DataSeqFraction: seq,
+		InstrWorkingSet: 6 * 1024, BranchRegularity: 0.97,
+	}
+}
+
+// fpScalar is a scalar FP kernel with more branching (povray-like).
+func fpScalar(ws int, seq float64) arch.PhaseParams {
+	return arch.PhaseParams{
+		BaseCPI: 0.35,
+		FracInt: 0.3, FracMul: 0.05, FracDiv: 0.02, FracFP: 0.3,
+		FracLoad: 0.26, FracStore: 0.1, FracBranch: 0.12,
+		FPWidth:        1,
+		DataWorkingSet: ws, DataSeqFraction: seq,
+		InstrWorkingSet: 24 * 1024, BranchRegularity: 0.85,
+	}
+}
+
+// intCompute is a hot integer loop (hmmer/h264-like).
+func intCompute(ws int, seq float64, regularity float64) arch.PhaseParams {
+	return arch.PhaseParams{
+		BaseCPI: 0.28,
+		FracInt: 0.62, FracMul: 0.06, FracDiv: 0.002, FracFP: 0.01,
+		FracLoad: 0.28, FracStore: 0.14, FracBranch: 0.1,
+		FPWidth:        1,
+		DataWorkingSet: ws, DataSeqFraction: seq,
+		InstrWorkingSet: 8 * 1024, BranchRegularity: regularity,
+	}
+}
+
+// intBranchy is pointer-chasing, hard-to-predict integer code
+// (gobmk/sjeng/astar-like).
+func intBranchy(ws int, regularity float64) arch.PhaseParams {
+	return arch.PhaseParams{
+		BaseCPI: 0.45,
+		FracInt: 0.45, FracMul: 0.02, FracDiv: 0.005, FracFP: 0.01,
+		FracLoad: 0.3, FracStore: 0.12, FracBranch: 0.2,
+		FPWidth:        1,
+		DataWorkingSet: ws, DataSeqFraction: 0.25,
+		InstrWorkingSet: 64 * 1024, BranchRegularity: regularity,
+	}
+}
+
+// memStream is bandwidth-bound streaming (lbm/libquantum-like).
+func memStream(ws int, fp float64, width float64) arch.PhaseParams {
+	return arch.PhaseParams{
+		BaseCPI: 0.4,
+		FracInt: 0.25, FracMul: 0.01, FracDiv: 0, FracFP: fp,
+		FracLoad: 0.38, FracStore: 0.2, FracBranch: 0.05,
+		FPWidth:        width,
+		DataWorkingSet: ws, DataSeqFraction: 0.92,
+		InstrWorkingSet: 4 * 1024, BranchRegularity: 0.99,
+	}
+}
+
+// memRandom is latency-bound pointer chasing (mcf/omnetpp-like).
+func memRandom(ws int) arch.PhaseParams {
+	return arch.PhaseParams{
+		BaseCPI: 0.55,
+		FracInt: 0.3, FracMul: 0.01, FracDiv: 0, FracFP: 0.01,
+		FracLoad: 0.36, FracStore: 0.1, FracBranch: 0.14,
+		FPWidth:        1,
+		DataWorkingSet: ws, DataSeqFraction: 0.08,
+		InstrWorkingSet: 32 * 1024, BranchRegularity: 0.75,
+	}
+}
+
+// withCPI returns a copy of the phase with an adjusted ideal CPI; used to
+// tune the throughput (and hence front-end power) of individual
+// workloads whose heat is IPC- rather than mix-dominated.
+func withCPI(p arch.PhaseParams, cpi float64) arch.PhaseParams {
+	p.BaseCPI = cpi
+	return p
+}
+
+const (
+	kb = 1024
+	mb = 1024 * 1024
+	ms = 1e-3
+	us = 1e-6
+)
+
+// catalog defines the 27 SPEC CPU2006 workload models. Intensity is the
+// per-workload thermal knob that positions its safe-frequency ceiling;
+// short hard-switched phases make a workload's power spiky, which is what
+// defeats a delayed thermal sensor.
+var catalog = []Workload{
+	// ---- Training-set workloads (Table III) ----
+	{Name: "milc", Intensity: 0.95, Jitter: 0.1, Transition: 100 * us, Phases: []Phase{
+		{fpVector(4, 384*kb, 0.9), 1.2 * ms}, {memStream(48*mb, 0.2, 2), 0.8 * ms}}},
+	{Name: "bwaves", Intensity: 0.9, Jitter: 0.05, Transition: 300 * us, Phases: []Phase{
+		{fpVector(4, 512*kb, 0.92), 2.5 * ms}, {fpVector(2, 4*mb, 0.92), 1.5 * ms}}},
+	{Name: "soplex", Intensity: 1.12, Jitter: 0.12, Transition: 200 * us, Phases: []Phase{
+		{fpScalar(768*kb, 0.7), 1.5 * ms}, {memRandom(16 * mb), 1.0 * ms}}},
+	{Name: "gobmk", Intensity: 0.95, Jitter: 0.1, Transition: 150 * us, Phases: []Phase{
+		{intBranchy(256*kb, 0.7), 1.0 * ms}, {intCompute(96*kb, 0.6, 0.8), 0.7 * ms}}},
+	{Name: "sjeng", Intensity: 1.0, Jitter: 0.08, Transition: 250 * us, Phases: []Phase{
+		{intBranchy(384*kb, 0.65), 2.0 * ms}}},
+	{Name: "leslie3d", Intensity: 0.95, Jitter: 0.1, Transition: 150 * us, Phases: []Phase{
+		{fpVector(4, 320*kb, 0.9), 1.4 * ms}, {fpVector(2, 6*mb, 0.9), 0.9 * ms}}},
+	{Name: "gcc", Intensity: 1.1, Jitter: 0.15, Transition: 100 * us, Phases: []Phase{
+		{intBranchy(512*kb, 0.8), 0.8 * ms}, {memRandom(8 * mb), 0.5 * ms},
+		{intCompute(192*kb, 0.6, 0.85), 0.6 * ms}}},
+	{Name: "calculix", Intensity: 0.92, Jitter: 0.08, Transition: 120 * us, Phases: []Phase{
+		{fpVector(4, 256*kb, 0.88), 1.8 * ms}, {fpScalar(1*mb, 0.7), 0.6 * ms}}},
+	{Name: "perlbench", Intensity: 0.92, Jitter: 0.12, Transition: 100 * us, Phases: []Phase{
+		{intBranchy(512*kb, 0.78), 1.1 * ms}, {intCompute(128*kb, 0.65, 0.88), 0.8 * ms}}},
+	{Name: "astar", Intensity: 1.15, Jitter: 0.1, Transition: 200 * us, Phases: []Phase{
+		{memRandom(24 * mb), 1.0 * ms}, {intCompute(128*kb, 0.7, 0.82), 0.6 * ms}, {intBranchy(384*kb, 0.7), 0.5 * ms}}},
+	{Name: "tonto", Intensity: 0.9, Jitter: 0.1, Transition: 180 * us, Phases: []Phase{
+		{fpScalar(512*kb, 0.75), 1.0 * ms}, {fpVector(2, 384*kb, 0.85), 0.9 * ms}}},
+	{Name: "zeusmp", Intensity: 0.94, Jitter: 0.09, Transition: 150 * us, Phases: []Phase{
+		{fpVector(4, 448*kb, 0.9), 1.6 * ms}, {memStream(32*mb, 0.3, 2), 0.7 * ms}}},
+	{Name: "wrf", Intensity: 1.08, Jitter: 0.11, Transition: 140 * us, Phases: []Phase{
+		{fpVector(2, 512*kb, 0.85), 1.0 * ms}, {fpScalar(768*kb, 0.7), 0.8 * ms},
+		{memStream(24*mb, 0.25, 2), 0.6 * ms}}},
+	{Name: "lbm", Intensity: 1.08, Jitter: 0.06, Transition: 200 * us, Phases: []Phase{
+		{memStream(96*mb, 0.45, 4), 1.5 * ms}, {fpVector(4, 256*kb, 0.92), 0.7 * ms}}},
+	{Name: "mcf", Intensity: 1.08, Jitter: 0.08, Transition: 300 * us, Phases: []Phase{
+		{memRandom(128 * mb), 1.8 * ms}, {intCompute(64*kb, 0.7, 0.8), 0.7 * ms}}},
+	{Name: "sphinx3", Intensity: 0.88, Jitter: 0.1, Transition: 160 * us, Phases: []Phase{
+		{fpVector(2, 448*kb, 0.8), 1.1 * ms}, {intCompute(256*kb, 0.6, 0.82), 0.6 * ms}}},
+	{Name: "povray", Intensity: 0.93, Jitter: 0.12, Transition: 90 * us, Phases: []Phase{
+		{fpScalar(256*kb, 0.65), 1.3 * ms}, {intBranchy(256*kb, 0.8), 0.5 * ms}}},
+	// libquantum: streaming with violent short wide-vector bursts - the
+	// fast-hotspot workload a 960 us sensor cannot catch.
+	{Name: "libquantum", Intensity: 1.1, Jitter: 0.12, Transition: 0, Phases: []Phase{
+		{memStream(64*mb, 0.15, 2), 640 * us}, {fpVector(4, 128*kb, 0.95), 260 * us}}},
+	{Name: "namd", Intensity: 0.99, Jitter: 0.07, Transition: 180 * us, Phases: []Phase{
+		{fpVector(4, 320*kb, 0.82), 2.0 * ms}}},
+	// gromacs: the paper's canonical spiky workload - hard-switched
+	// bursts of dense wide-FP compute against a mild baseline.
+	{Name: "gromacs", Intensity: 1.08, Jitter: 0.15, Transition: 0, Phases: []Phase{
+		{fpVector(4, 192*kb, 0.9), 420 * us}, {fpScalar(512*kb, 0.7), 580 * us}}},
+
+	// ---- Test-set workloads (Table III) ----
+	{Name: "cactusADM", Intensity: 0.86, Jitter: 0.07, Transition: 280 * us, Phases: []Phase{
+		{fpVector(2, 640*kb, 0.92), 2.4 * ms}}},
+	{Name: "omnetpp", Intensity: 1.25, Jitter: 0.1, Transition: 250 * us, Phases: []Phase{
+		{memRandom(48 * mb), 1.3 * ms}, {intCompute(96*kb, 0.65, 0.8), 0.6 * ms}, {intBranchy(512*kb, 0.72), 0.5 * ms}}},
+	{Name: "GemsFDTD", Intensity: 0.98, Jitter: 0.1, Transition: 120 * us, Phases: []Phase{
+		{fpVector(4, 512*kb, 0.9), 1.2 * ms}, {memStream(40*mb, 0.3, 2), 0.9 * ms}}},
+	{Name: "h264ref", Intensity: 0.88, Jitter: 0.11, Transition: 110 * us, Phases: []Phase{
+		{intCompute(192*kb, 0.8, 0.9), 1.0 * ms}, {intCompute(448*kb, 0.65, 0.85), 0.7 * ms}}},
+	// bzip2: alternating compress/decompress phases; hot but smooth, so a
+	// severity predictor can safely run it much closer to the edge than a
+	// global thermal threshold does.
+	{Name: "bzip2", Intensity: 1.05, Jitter: 0.09, Transition: 200 * us, Phases: []Phase{
+		{intCompute(448*kb, 0.7, 0.8), 1.1 * ms}, {memRandom(16 * mb), 0.6 * ms},
+		{intCompute(192*kb, 0.75, 0.85), 0.9 * ms}}},
+	// hmmer: dense, steady integer compute - thermally predictable, the
+	// one workload where the thermal model already does well.
+	{Name: "hmmer", Intensity: 0.78, Jitter: 0.04, Transition: 350 * us, Phases: []Phase{
+		{withCPI(intCompute(48*kb, 0.8, 0.95), 0.35), 2.6 * ms}}},
+	{Name: "gamess", Intensity: 0.84, Jitter: 0.06, Transition: 300 * us, Phases: []Phase{
+		{fpScalar(384*kb, 0.75), 1.8 * ms}, {fpVector(1, 512*kb, 0.8), 1.0 * ms}}},
+}
+
+// TrainNames lists the Table III training-set workloads.
+var TrainNames = []string{
+	"milc", "bwaves", "soplex", "gobmk", "sjeng", "leslie3d", "gcc",
+	"calculix", "perlbench", "astar", "tonto", "zeusmp", "wrf", "lbm",
+	"mcf", "sphinx3", "povray", "libquantum", "namd", "gromacs",
+}
+
+// TestNames lists the Table III test-set workloads.
+var TestNames = []string{
+	"cactusADM", "omnetpp", "GemsFDTD", "h264ref", "bzip2", "hmmer", "gamess",
+}
+
+// Catalog returns the full 27-workload catalogue. The returned slice is
+// freshly allocated; the Workload values are shared and immutable.
+func Catalog() []*Workload {
+	out := make([]*Workload, len(catalog))
+	for i := range catalog {
+		out[i] = &catalog[i]
+	}
+	return out
+}
+
+// ByName returns the named workload or an error.
+func ByName(name string) (*Workload, error) {
+	for i := range catalog {
+		if catalog[i].Name == name {
+			return &catalog[i], nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+func init() {
+	for i := range catalog {
+		catalog[i].seedOffset = uint64(i + 1)
+		if err := catalog[i].Validate(); err != nil {
+			panic("workload: invalid catalogue entry: " + err.Error())
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestRunAccessors(t *testing.T) {
+	w, _ := ByName("lbm")
+	run := w.NewRun(42)
+	if run.Workload() != w {
+		t.Fatal("Workload accessor mismatch")
+	}
+	if run.Seed() == 42 {
+		t.Fatal("seed should be decorrelated per workload, not raw")
+	}
+}
+
+func TestSameSeedDifferentWorkloadsDecorrelated(t *testing.T) {
+	a, _ := ByName("milc")
+	b, _ := ByName("lbm")
+	if a.NewRun(7).Seed() == b.NewRun(7).Seed() {
+		t.Fatal("different workloads share an effective seed")
+	}
+}
+
+func TestSpikinessOrdering(t *testing.T) {
+	// Paper-critical behavioural contrasts encoded in the catalogue.
+	gromacs, _ := ByName("gromacs")
+	hmmer, _ := ByName("hmmer")
+	if gromacs.Jitter <= hmmer.Jitter {
+		t.Fatal("gromacs must be noisier than hmmer")
+	}
+	if gromacs.CycleLength() >= hmmer.CycleLength() {
+		t.Fatal("gromacs must cycle phases faster than hmmer")
+	}
+}
+
+func TestMemoryWorkloadsHaveLargeWorkingSets(t *testing.T) {
+	for _, name := range []string{"mcf", "lbm", "omnetpp"} {
+		w, _ := ByName(name)
+		big := false
+		for _, ph := range w.Phases {
+			if ph.Params.DataWorkingSet >= 16*1024*1024 {
+				big = true
+			}
+		}
+		if !big {
+			t.Errorf("%s should touch a multi-MB working set", name)
+		}
+	}
+}
+
+func TestFPWorkloadsUseWideVectors(t *testing.T) {
+	for _, name := range []string{"gromacs", "namd", "calculix", "leslie3d"} {
+		w, _ := ByName(name)
+		wide := false
+		for _, ph := range w.Phases {
+			if ph.Params.FPWidth >= 4 {
+				wide = true
+			}
+		}
+		if !wide {
+			t.Errorf("%s should have a wide-vector phase", name)
+		}
+	}
+}
+
+func TestParamsAtNegativeTimeWraps(t *testing.T) {
+	w, _ := ByName("gcc")
+	run := w.NewRun(1)
+	p := run.ParamsAt(-1e-3)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("negative time produced invalid params: %v", err)
+	}
+}

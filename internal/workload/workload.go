@@ -1,0 +1,165 @@
+// Package workload models the 27 SPEC CPU2006 benchmarks used by the
+// Boreas paper as synthetic phase programs.
+//
+// SPEC binaries and traces are not available in this environment, so each
+// workload is a deterministic sequence of execution phases (arch.PhaseParams)
+// with per-workload instruction mix, locality, vector width, burstiness and
+// thermal intensity. The catalogue is tuned so the population spans the
+// paper's behavioural range: fast-spiking FP workloads (gromacs,
+// libquantum) whose hotspots outrun a delayed thermal sensor, smooth
+// compute-bound workloads (hmmer, sjeng), memory-bound workloads that run
+// cool (mcf, omnetpp), and everything between - which is what gives the
+// per-workload safe-frequency ceilings their spread in Fig 2.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/arch"
+)
+
+// Phase is one program phase with a dwell time.
+type Phase struct {
+	Params arch.PhaseParams
+	// Duration is the dwell time in seconds before moving to the next
+	// phase (cyclically).
+	Duration float64
+}
+
+// Workload is an immutable behavioural model of one benchmark. Construct
+// runs with NewRun; the Workload itself is safe for concurrent use.
+type Workload struct {
+	// Name is the SPEC benchmark name.
+	Name string
+	// Phases cycle for the duration of a run.
+	Phases []Phase
+	// Transition is the lerp window (seconds) when crossing a phase
+	// boundary; 0 means hard switches (spiky workloads).
+	Transition float64
+	// Intensity scales the execution-unit fractions (and therefore power)
+	// of every phase; the per-workload thermal calibration knob.
+	Intensity float64
+	// Jitter is the relative amplitude of multiplicative activity noise
+	// applied per 80 us window.
+	Jitter float64
+	// seedOffset decorrelates this workload's streams from others run
+	// with the same experiment seed.
+	seedOffset uint64
+}
+
+// Validate reports definition errors.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("workload %s: no phases", w.Name)
+	}
+	for i, p := range w.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("workload %s: phase %d has non-positive duration", w.Name, i)
+		}
+		if err := p.Params.Validate(); err != nil {
+			return fmt.Errorf("workload %s: phase %d: %w", w.Name, i, err)
+		}
+	}
+	if w.Intensity <= 0 || w.Intensity > 1.5 {
+		return fmt.Errorf("workload %s: intensity %g outside (0,1.5]", w.Name, w.Intensity)
+	}
+	if w.Jitter < 0 || w.Jitter > 0.5 {
+		return fmt.Errorf("workload %s: jitter %g outside [0,0.5]", w.Name, w.Jitter)
+	}
+	if w.Transition < 0 {
+		return fmt.Errorf("workload %s: negative transition", w.Name)
+	}
+	return nil
+}
+
+// CycleLength returns the total duration of one phase cycle in seconds.
+func (w *Workload) CycleLength() float64 {
+	total := 0.0
+	for _, p := range w.Phases {
+		total += p.Duration
+	}
+	return total
+}
+
+// Run is a stateless-by-time view of a workload: ParamsAt(t) is a pure
+// function of (workload, seed, t), so runs are reproducible regardless of
+// sampling cadence.
+type Run struct {
+	w    *Workload
+	seed uint64
+}
+
+// NewRun binds the workload to an experiment seed.
+func (w *Workload) NewRun(seed uint64) *Run {
+	return &Run{w: w, seed: seed ^ (w.seedOffset * 0x9e3779b97f4a7c15)}
+}
+
+// Workload returns the underlying workload definition.
+func (r *Run) Workload() *Workload { return r.w }
+
+// Seed returns the bound seed (after per-workload decorrelation).
+func (r *Run) Seed() uint64 { return r.seed }
+
+// hashNoise returns a deterministic uniform value in [0,1) for a given
+// window index, independent of evaluation order.
+func hashNoise(seed, window uint64) float64 {
+	z := seed + window*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// jitterWindow is the width of one activity-noise window: the paper's
+// telemetry sampling interval.
+const jitterWindow = 80e-6
+
+// ParamsAt returns the phase parameters in effect at time t (seconds from
+// run start), including phase-boundary interpolation, intensity scaling
+// and per-window jitter.
+func (r *Run) ParamsAt(t float64) arch.PhaseParams {
+	w := r.w
+	cycle := w.CycleLength()
+	pos := math.Mod(t, cycle)
+	if pos < 0 {
+		pos += cycle
+	}
+
+	// Locate the current phase.
+	idx := 0
+	for pos >= w.Phases[idx].Duration {
+		pos -= w.Phases[idx].Duration
+		idx = (idx + 1) % len(w.Phases)
+	}
+	p := w.Phases[idx].Params
+
+	// Smooth transition into the next phase near the boundary.
+	if w.Transition > 0 {
+		remaining := w.Phases[idx].Duration - pos
+		if remaining < w.Transition {
+			next := w.Phases[(idx+1)%len(w.Phases)].Params
+			p = arch.Lerp(p, next, 1-remaining/w.Transition)
+		}
+	}
+
+	// Intensity scaling of execution activity (bounded to legal range).
+	scale := func(f float64) float64 { return math.Min(1, f*w.Intensity) }
+	p.FracInt = scale(p.FracInt)
+	p.FracMul = scale(p.FracMul)
+	p.FracDiv = scale(p.FracDiv)
+	p.FracFP = scale(p.FracFP)
+
+	// Multiplicative jitter, constant within each 80 us window.
+	if w.Jitter > 0 {
+		window := uint64(t / jitterWindow)
+		n := 1 + w.Jitter*(2*hashNoise(r.seed, window)-1)
+		p.FracInt = math.Min(1, p.FracInt*n)
+		p.FracFP = math.Min(1, p.FracFP*n)
+		p.BaseCPI = math.Max(0.25, p.BaseCPI/n)
+	}
+	return p
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/arch"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	all := Catalog()
+	if len(all) != 27 {
+		t.Fatalf("catalogue has %d workloads, want 27", len(all))
+	}
+	if len(TrainNames)+len(TestNames) != 27 {
+		t.Fatalf("train(%d)+test(%d) != 27", len(TrainNames), len(TestNames))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	for _, n := range append(append([]string{}, TrainNames...), TestNames...) {
+		if !seen[n] {
+			t.Fatalf("split name %s missing from catalogue", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("gromacs")
+	if err != nil || w.Name != "gromacs" {
+		t.Fatalf("ByName(gromacs) = %v, %v", w, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("expected unknown-benchmark error")
+	}
+}
+
+func TestAllEntriesValid(t *testing.T) {
+	for _, w := range Catalog() {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestParamsAtAlwaysValid(t *testing.T) {
+	for _, w := range Catalog() {
+		run := w.NewRun(1)
+		for i := 0; i < 400; i++ {
+			tm := float64(i) * 80e-6
+			p := run.ParamsAt(tm)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s at t=%v: %v", w.Name, tm, err)
+			}
+		}
+	}
+}
+
+func TestParamsAtDeterministic(t *testing.T) {
+	w, _ := ByName("gcc")
+	a := w.NewRun(5)
+	b := w.NewRun(5)
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 80e-6
+		if a.ParamsAt(tm) != b.ParamsAt(tm) {
+			t.Fatalf("same-seed runs diverged at t=%v", tm)
+		}
+	}
+}
+
+func TestParamsAtPureInTime(t *testing.T) {
+	// Calling out of order or repeatedly must not change results.
+	w, _ := ByName("gromacs")
+	run := w.NewRun(9)
+	p1 := run.ParamsAt(3e-3)
+	_ = run.ParamsAt(1e-3)
+	_ = run.ParamsAt(7e-3)
+	p2 := run.ParamsAt(3e-3)
+	if p1 != p2 {
+		t.Fatal("ParamsAt is not a pure function of time")
+	}
+}
+
+func TestSeedsChangeJitter(t *testing.T) {
+	w, _ := ByName("gromacs")
+	a := w.NewRun(1)
+	b := w.NewRun(2)
+	diff := 0
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 80e-6
+		if a.ParamsAt(tm) != b.ParamsAt(tm) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestPhaseCyclingCoversAllPhases(t *testing.T) {
+	w, _ := ByName("libquantum")
+	run := w.NewRun(1)
+	sawBurst, sawStream := false, false
+	for i := 0; i < 300; i++ {
+		p := run.ParamsAt(float64(i) * 80e-6)
+		if p.FracFP > 0.3 {
+			sawBurst = true
+		}
+		if p.DataWorkingSet > 32*1024*1024 {
+			sawStream = true
+		}
+	}
+	if !sawBurst || !sawStream {
+		t.Fatalf("libquantum phases not both observed: burst=%v stream=%v", sawBurst, sawStream)
+	}
+}
+
+func TestSpikyWorkloadsHaveFastPhases(t *testing.T) {
+	// The fast-hotspot workloads must switch phases faster than the
+	// 960 us sensor/decision interval, or the paper's central argument
+	// (sensors cannot catch fast hotspots) has nothing to bite on.
+	for _, name := range []string{"gromacs", "libquantum"} {
+		w, _ := ByName(name)
+		minDur := math.Inf(1)
+		for _, p := range w.Phases {
+			minDur = math.Min(minDur, p.Duration)
+		}
+		if minDur >= 960e-6 {
+			t.Errorf("%s shortest phase %v s, want < 960 us", name, minDur)
+		}
+		if w.Transition != 0 {
+			t.Errorf("%s should hard-switch phases", name)
+		}
+	}
+}
+
+func TestIntensityScalesActivity(t *testing.T) {
+	base := Workload{
+		Name: "x", Intensity: 0.5,
+		Phases: []Phase{{fpVector(4, 1024*1024, 0.8), 1e-3}},
+	}
+	base.seedOffset = 99
+	hot := base
+	hot.Intensity = 1.0
+	pLow := base.NewRun(1).ParamsAt(0)
+	pHigh := hot.NewRun(1).ParamsAt(0)
+	if pHigh.FracFP <= pLow.FracFP {
+		t.Fatalf("intensity should scale FP fraction: %v vs %v", pHigh.FracFP, pLow.FracFP)
+	}
+}
+
+func TestTransitionSmoothsBoundary(t *testing.T) {
+	w, _ := ByName("bwaves") // 300 us transition between phases
+	// Strip jitter for a clean measurement.
+	smooth := *w
+	smooth.Jitter = 0
+	run := smooth.NewRun(1)
+	d := w.Phases[0].Duration
+	before := run.ParamsAt(d - 400e-6)
+	mid := run.ParamsAt(d - 150e-6)
+	after := run.ParamsAt(d + 50e-6)
+	if before.FPWidth == mid.FPWidth && mid.FPWidth == after.FPWidth {
+		t.Skip("phases share FPWidth; nothing to observe")
+	}
+	// mid must lie strictly between the phase endpoints.
+	lo, hi := math.Min(before.FPWidth, after.FPWidth), math.Max(before.FPWidth, after.FPWidth)
+	if mid.FPWidth <= lo || mid.FPWidth >= hi {
+		t.Fatalf("transition not interpolating: before=%v mid=%v after=%v",
+			before.FPWidth, mid.FPWidth, after.FPWidth)
+	}
+}
+
+func TestCycleLength(t *testing.T) {
+	w := Workload{Name: "x", Intensity: 1, Phases: []Phase{
+		{fpVector(1, 1024, 0.5), 1e-3},
+		{fpVector(1, 1024, 0.5), 2e-3},
+	}}
+	if got := w.CycleLength(); math.Abs(got-3e-3) > 1e-12 {
+		t.Fatalf("CycleLength = %v, want 3e-3", got)
+	}
+}
+
+func TestValidateCatchesBadDefinitions(t *testing.T) {
+	valid := arch.PhaseParams{BaseCPI: 0.3, DataWorkingSet: 1024, InstrWorkingSet: 1024, FPWidth: 1}
+	cases := []Workload{
+		{Name: "", Intensity: 1, Phases: []Phase{{valid, 1e-3}}},
+		{Name: "x", Intensity: 1},
+		{Name: "x", Intensity: 1, Phases: []Phase{{valid, 0}}},
+		{Name: "x", Intensity: 0, Phases: []Phase{{valid, 1e-3}}},
+		{Name: "x", Intensity: 1, Jitter: 0.9, Phases: []Phase{{valid, 1e-3}}},
+		{Name: "x", Intensity: 1, Transition: -1, Phases: []Phase{{valid, 1e-3}}},
+	}
+	for i, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestTrainTestDisjoint(t *testing.T) {
+	train := map[string]bool{}
+	for _, n := range TrainNames {
+		train[n] = true
+	}
+	for _, n := range TestNames {
+		if train[n] {
+			t.Fatalf("%s appears in both train and test sets", n)
+		}
+	}
+}
