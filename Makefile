@@ -1,0 +1,35 @@
+# Boreas reproduction - build and verification targets.
+#
+# `make ci` is the expanded tier-1 gate: build, vet, tests, and the race
+# detector over every package (the execution engine makes the campaign
+# layers concurrent, so the race detector is part of the gate).
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench bench-parallel clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Refresh BENCH_parallel.json (sequential vs parallel campaign timings).
+bench-parallel:
+	BENCH_PARALLEL=1 $(GO) test -run TestWriteBenchParallelArtefact -v .
+
+clean:
+	$(GO) clean ./...

@@ -12,8 +12,14 @@
 package boreas_test
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/hotgauge/boreas/internal/arch"
 	"github.com/hotgauge/boreas/internal/control"
@@ -504,4 +510,118 @@ func BenchmarkMicro_VoltageLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = power.VoltageFor(2.0 + float64(i%13)*0.25)
 	}
+}
+
+// ---- Execution-engine benches (sequential vs parallel campaigns) ----
+
+// parallelBuildConfig is the campaign used to measure the execution
+// engine: big enough that per-task pipeline construction is amortised,
+// small enough to iterate.
+func parallelBuildConfig() telemetry.BuildConfig {
+	cfg := telemetry.DefaultBuildConfig(
+		[]string{"gromacs", "gamess", "bzip2", "calculix", "mcf", "lbm"},
+		[]float64{3.0, 3.5, 4.0, 4.5})
+	cfg.Sim.Thermal.NX, cfg.Sim.Thermal.NY = 24, 18
+	cfg.Sim.WarmStartProbeSteps = 5
+	cfg.StepsPerRun = 60
+	cfg.Horizon = 12
+	return cfg
+}
+
+// BenchmarkParallel_Build measures the dataset build at -j1 vs -j4. The
+// output is byte-identical (see TestDeterminism_BuildDataset); only the
+// wall clock changes.
+func BenchmarkParallel_Build(b *testing.B) {
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			cfg := parallelBuildConfig()
+			cfg.Workers = j
+			for i := 0; i < b.N; i++ {
+				if _, err := telemetry.Build(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallel_StaticSweep measures the oracle static sweep at -j1
+// vs -j4.
+func BenchmarkParallel_StaticSweep(b *testing.B) {
+	cfg := parallelBuildConfig()
+	p, err := sim.New(cfg.Sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := control.BuildOracleContext(context.Background(), p,
+					cfg.Workloads, cfg.Frequencies, cfg.StepsPerRun, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteBenchParallelArtefact measures the -j1 vs -j4 campaigns and
+// records the result in BENCH_parallel.json. Gated behind an env var so
+// the regular test run stays fast:
+//
+//	BENCH_PARALLEL=1 go test -run TestWriteBenchParallelArtefact .
+func TestWriteBenchParallelArtefact(t *testing.T) {
+	if os.Getenv("BENCH_PARALLEL") == "" {
+		t.Skip("set BENCH_PARALLEL=1 to refresh BENCH_parallel.json")
+	}
+	timeBuild := func(j int) float64 {
+		cfg := parallelBuildConfig()
+		cfg.Workers = j
+		t0 := time.Now()
+		if _, err := telemetry.Build(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0).Seconds()
+	}
+	timeSweep := func(j int) float64 {
+		cfg := parallelBuildConfig()
+		p, err := sim.New(cfg.Sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := control.BuildOracleContext(context.Background(), p,
+			cfg.Workloads, cfg.Frequencies, cfg.StepsPerRun, j); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0).Seconds()
+	}
+	// Warm up once so first-use costs don't land on the -j1 sample.
+	timeBuild(1)
+
+	buildJ1, buildJ4 := timeBuild(1), timeBuild(4)
+	sweepJ1, sweepJ4 := timeSweep(1), timeSweep(4)
+	artefact := map[string]any{
+		"num_cpu":              runtime.NumCPU(),
+		"gomaxprocs":           runtime.GOMAXPROCS(0),
+		"build_j1_seconds":     buildJ1,
+		"build_j4_seconds":     buildJ4,
+		"build_speedup_j4":     buildJ1 / buildJ4,
+		"sweep_j1_seconds":     sweepJ1,
+		"sweep_j4_seconds":     sweepJ4,
+		"sweep_speedup_j4":     sweepJ1 / sweepJ4,
+		"campaign_runs":        6 * 4,
+		"steps_per_run":        60,
+		"output_bit_identical": true,
+		"identity_verified_by": "TestDeterminism_BuildDataset / TestDeterminism_TrainedModel",
+	}
+	data, err := json.MarshalIndent(artefact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("build: j1 %.2fs, j4 %.2fs (%.2fx); sweep: j1 %.2fs, j4 %.2fs (%.2fx) on %d CPU(s)",
+		buildJ1, buildJ4, buildJ1/buildJ4, sweepJ1, sweepJ4, sweepJ1/sweepJ4, runtime.NumCPU())
 }

@@ -32,16 +32,33 @@
 package boreas
 
 import (
+	"context"
+
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
 	"github.com/hotgauge/boreas/internal/experiments"
 	"github.com/hotgauge/boreas/internal/hotspot"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
 	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
 	"github.com/hotgauge/boreas/internal/workload"
 )
+
+// Parallel execution. Every campaign entry point (BuildDataset,
+// BuildWalkDataset, the oracle/threshold builders, the Lab) takes a
+// Workers knob: how many independent simulation runs execute at once.
+// Zero or negative means one worker per CPU. Results are bit-identical at
+// any worker count - parallelism is purely a wall-clock optimisation.
+
+// DefaultWorkers returns the default campaign parallelism (one worker per
+// CPU).
+func DefaultWorkers() int { return runner.DefaultWorkers() }
+
+// DeriveSeed deterministically mixes a base seed with task coordinates,
+// so each task's randomness is independent of scheduling order.
+func DeriveSeed(base uint64, parts ...uint64) uint64 { return runner.DeriveSeed(base, parts...) }
 
 // Simulation pipeline (the HotGauge-equivalent substrate).
 type (
@@ -111,11 +128,23 @@ func DefaultWalkConfig(workloads []string, freqs []float64) WalkConfig {
 	return telemetry.DefaultWalkConfig(workloads, freqs)
 }
 
-// BuildDataset runs a static extraction campaign.
+// BuildDataset runs a static extraction campaign (cfg.Workers runs in
+// flight).
 func BuildDataset(cfg BuildConfig) (*Dataset, error) { return telemetry.Build(cfg) }
 
-// BuildWalkDataset runs a frequency-walk extraction campaign.
+// BuildDatasetContext is BuildDataset with cancellation.
+func BuildDatasetContext(ctx context.Context, cfg BuildConfig) (*Dataset, error) {
+	return telemetry.BuildContext(ctx, cfg)
+}
+
+// BuildWalkDataset runs a frequency-walk extraction campaign (cfg.Workers
+// runs in flight).
 func BuildWalkDataset(cfg WalkConfig) (*Dataset, error) { return telemetry.BuildWalk(cfg) }
+
+// BuildWalkDatasetContext is BuildWalkDataset with cancellation.
+func BuildWalkDatasetContext(ctx context.Context, cfg WalkConfig) (*Dataset, error) {
+	return telemetry.BuildWalkContext(ctx, cfg)
+}
 
 // FeatureNames returns the full 78-feature telemetry vocabulary.
 func FeatureNames() []string { return telemetry.FullFeatureNames() }
@@ -182,6 +211,12 @@ func BuildCriticalTemps(p *Pipeline, workloads []string, freqs []float64, steps,
 	return control.BuildCriticalTemps(p, workloads, freqs, steps, sensorIndex)
 }
 
+// BuildCriticalTempsContext is BuildCriticalTemps with cancellation and a
+// worker count (0 or negative: one per CPU).
+func BuildCriticalTempsContext(ctx context.Context, p *Pipeline, workloads []string, freqs []float64, steps, sensorIndex, workers int) (*CriticalTemps, error) {
+	return control.BuildCriticalTempsContext(ctx, p, workloads, freqs, steps, sensorIndex, workers)
+}
+
 // NewThermalController builds a TH-xx controller.
 func NewThermalController(table *CriticalTemps, relax float64) *ThermalController {
 	return control.NewThermalController(table, relax)
@@ -197,6 +232,12 @@ func CalibrateThermalMargin(p *Pipeline, table *CriticalTemps, workloads []strin
 // knowledge (the upper bound of Fig 2).
 func BuildOracle(p *Pipeline, workloads []string, freqs []float64, steps int) (*OracleTable, error) {
 	return control.BuildOracle(p, workloads, freqs, steps)
+}
+
+// BuildOracleContext is BuildOracle with cancellation and a worker count
+// (0 or negative: one per CPU).
+func BuildOracleContext(ctx context.Context, p *Pipeline, workloads []string, freqs []float64, steps, workers int) (*OracleTable, error) {
+	return control.BuildOracleContext(ctx, p, workloads, freqs, steps, workers)
 }
 
 // Experiments: the per-table/figure generators.
@@ -215,3 +256,9 @@ func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig()
 
 // NewLab builds the experiment context.
 func NewLab(cfg ExperimentConfig) (*Lab, error) { return experiments.NewLab(cfg) }
+
+// NewLabContext is NewLab with cancellation: cancelling ctx aborts any
+// campaign the lab is running.
+func NewLabContext(ctx context.Context, cfg ExperimentConfig) (*Lab, error) {
+	return experiments.NewLabContext(ctx, cfg)
+}

@@ -7,15 +7,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/hotgauge/boreas/internal/experiments"
 	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/runner"
 )
 
 var experimentNames = []string{
@@ -26,17 +29,23 @@ var experimentNames = []string{
 
 func main() {
 	var (
-		expr  = flag.String("experiment", "all", "experiment to run: all | "+strings.Join(experimentNames, " | "))
-		quick = flag.Bool("quick", false, "use the reduced campaign (seconds instead of minutes)")
-		out   = flag.String("out", "", "directory for CSV artefacts (fig5/fig8 traces); empty disables")
+		expr    = flag.String("experiment", "all", "experiment to run: all | "+strings.Join(experimentNames, " | "))
+		quick   = flag.Bool("quick", false, "use the reduced campaign (seconds instead of minutes)")
+		out     = flag.String("out", "", "directory for CSV artefacts (fig5/fig8 traces); empty disables")
+		workers = flag.Int("j", runner.DefaultWorkers(), "campaign parallelism (simulation runs in flight); results are identical at any -j")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
-	lab, err := experiments.NewLab(cfg)
+	cfg.Workers = *workers
+	fmt.Printf("boreas: running with -j %d\n\n", runner.Normalize(*workers))
+	lab, err := experiments.NewLabContext(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}

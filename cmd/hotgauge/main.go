@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
 	"github.com/hotgauge/boreas/internal/workload"
@@ -20,12 +22,13 @@ import (
 
 func main() {
 	var (
-		mode  = flag.String("mode", "trace", "trace | dataset | walk")
-		wl    = flag.String("workload", "gromacs", "workload name (trace mode)")
-		freq  = flag.Float64("freq", 4.0, "frequency in GHz (trace mode)")
-		steps = flag.Int("steps", 150, "timesteps per run")
-		set   = flag.String("set", "train", "workload set: train | test | all (dataset/walk modes)")
-		out   = flag.String("o", "", "output file (default stdout)")
+		mode    = flag.String("mode", "trace", "trace | dataset | walk")
+		wl      = flag.String("workload", "gromacs", "workload name (trace mode)")
+		freq    = flag.Float64("freq", 4.0, "frequency in GHz (trace mode)")
+		steps   = flag.Int("steps", 150, "timesteps per run")
+		set     = flag.String("set", "train", "workload set: train | test | all (dataset/walk modes)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		workers = flag.Int("j", runner.DefaultWorkers(), "simulation runs in flight (dataset/walk modes); output is byte-identical at any -j")
 	)
 	flag.Parse()
 
@@ -51,6 +54,8 @@ func main() {
 		}
 		cfg := telemetry.DefaultBuildConfig(names, power.FrequencySteps())
 		cfg.StepsPerRun = *steps
+		cfg.Workers = *workers
+		t0 := time.Now()
 		ds, err := telemetry.Build(cfg)
 		if err != nil {
 			fatal(err)
@@ -58,13 +63,16 @@ func main() {
 		if err := ds.WriteCSV(w); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances\n", ds.Len())
+		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances in %.1fs (-j %d)\n",
+			ds.Len(), time.Since(t0).Seconds(), runner.Normalize(*workers))
 	case "walk":
 		names, err := setNames(*set)
 		if err != nil {
 			fatal(err)
 		}
 		cfg := telemetry.DefaultWalkConfig(names, power.FrequencySteps())
+		cfg.Workers = *workers
+		t0 := time.Now()
 		ds, err := telemetry.BuildWalk(cfg)
 		if err != nil {
 			fatal(err)
@@ -72,7 +80,8 @@ func main() {
 		if err := ds.WriteCSV(w); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances\n", ds.Len())
+		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances in %.1fs (-j %d)\n",
+			ds.Len(), time.Since(t0).Seconds(), runner.Normalize(*workers))
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}

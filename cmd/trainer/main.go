@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/telemetry"
 )
 
@@ -28,6 +30,7 @@ func main() {
 		alpha   = flag.Float64("alpha", 0.3, "learning rate")
 		gamma   = flag.Float64("gamma", 0, "min split loss")
 		allFeat = flag.Bool("all-features", false, "train on all 78 features instead of the Table IV top 20")
+		workers = flag.Int("j", runner.DefaultWorkers(), "split-search parallelism; the trained model is identical at any -j")
 	)
 	flag.Parse()
 
@@ -76,7 +79,7 @@ func main() {
 	}
 
 	params := gbt.Params{NumTrees: *trees, MaxDepth: *depth, LearningRate: *alpha,
-		Gamma: *gamma, Lambda: 1, MinChildWeight: 1}
+		Gamma: *gamma, Lambda: 1, MinChildWeight: 1, Workers: *workers}
 
 	if *grid {
 		gridParams := []gbt.Params{}
@@ -100,11 +103,13 @@ func main() {
 		fmt.Printf("training final model with trees=%d depth=%d\n", params.NumTrees, params.MaxDepth)
 	}
 
+	t0 := time.Now()
 	m, err := gbt.Train(sel.X, sel.Y, sel.FeatureNames, params)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("train MSE: %.5f on %d instances\n", m.MSE(sel.X, sel.Y), sel.Len())
+	fmt.Printf("trained in %.1fs (-j %d); train MSE: %.5f on %d instances\n",
+		time.Since(t0).Seconds(), runner.Normalize(params.Workers), m.MSE(sel.X, sel.Y), sel.Len())
 
 	if *test != "" {
 		tds, err := readCSV(*test)

@@ -1,9 +1,11 @@
 package control
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 )
 
@@ -19,24 +21,33 @@ type OracleTable struct {
 	Peak map[string]map[float64]float64
 }
 
-// BuildOracle sweeps every workload over every frequency.
+// BuildOracle sweeps every workload over every frequency on the calling
+// goroutine.
 func BuildOracle(p *sim.Pipeline, workloads []string, freqs []float64, steps int) (*OracleTable, error) {
+	return BuildOracleContext(context.Background(), p, workloads, freqs, steps, 1)
+}
+
+// BuildOracleContext fans the (workload, frequency) static sweep across
+// workers pipeline clones of p (0 or negative: one worker per CPU). The
+// assembled table is identical at any worker count: every run fully
+// resets its pipeline, and results are keyed by their coordinates.
+func BuildOracleContext(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) (*OracleTable, error) {
 	if len(workloads) == 0 || len(freqs) == 0 {
 		return nil, fmt.Errorf("control: empty workload or frequency list")
+	}
+	peaks, err := sweepPeaks(ctx, p, workloads, freqs, steps, workers)
+	if err != nil {
+		return nil, err
 	}
 	t := &OracleTable{
 		Best: make(map[string]float64, len(workloads)),
 		Peak: make(map[string]map[float64]float64, len(workloads)),
 	}
-	for _, name := range workloads {
+	for wi, name := range workloads {
 		t.Peak[name] = make(map[float64]float64, len(freqs))
 		best := math.Inf(-1)
-		for _, f := range freqs {
-			trace, err := p.RunStatic(name, f, steps)
-			if err != nil {
-				return nil, err
-			}
-			peak := sim.PeakSeverity(trace)
+		for fi, f := range freqs {
+			peak := sim.PeakSeverity(peaks[wi*len(freqs)+fi])
 			t.Peak[name][f] = peak
 			if peak < 1.0 && f > best {
 				best = f
@@ -48,6 +59,21 @@ func BuildOracle(p *sim.Pipeline, workloads []string, freqs []float64, steps int
 		t.Best[name] = best
 	}
 	return t, nil
+}
+
+// sweepPeaks runs the full (workload, frequency) grid of static runs in
+// parallel and returns the traces in row-major (workload, frequency)
+// order. Each task runs on its own clone of p.
+func sweepPeaks(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) ([][]sim.StepResult, error) {
+	n := len(workloads) * len(freqs)
+	return runner.Map(ctx, workers, n, func(ctx context.Context, i int) ([]sim.StepResult, error) {
+		name, f := workloads[i/len(freqs)], freqs[i%len(freqs)]
+		pc, err := p.Clone()
+		if err != nil {
+			return nil, err
+		}
+		return pc.RunStatic(name, f, steps)
+	})
 }
 
 // GlobalLimit returns the highest frequency safe for every workload in

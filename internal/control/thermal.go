@@ -1,10 +1,12 @@
 package control
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/workload"
 )
@@ -27,11 +29,22 @@ type CriticalTemps struct {
 // sensor placement *and* delay, which is why fast-spiking workloads
 // produce brutally low thresholds at high frequency.
 func BuildCriticalTemps(p *sim.Pipeline, workloads []string, freqs []float64, steps, sensorIndex int) (*CriticalTemps, error) {
+	return BuildCriticalTempsContext(context.Background(), p, workloads, freqs, steps, sensorIndex, 1)
+}
+
+// BuildCriticalTempsContext fans the calibration sweep across workers
+// pipeline clones of p (0 or negative: one worker per CPU). The table is
+// identical at any worker count.
+func BuildCriticalTempsContext(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, sensorIndex, workers int) (*CriticalTemps, error) {
 	if len(workloads) == 0 || len(freqs) == 0 {
 		return nil, fmt.Errorf("control: empty workload or frequency list")
 	}
 	if sensorIndex < 0 || sensorIndex >= p.NumSensors() {
 		return nil, fmt.Errorf("control: sensor index %d out of range", sensorIndex)
+	}
+	traces, err := sweepPeaks(ctx, p, workloads, freqs, steps, workers)
+	if err != nil {
+		return nil, err
 	}
 	ct := &CriticalTemps{
 		PerWorkload: make(map[string]map[float64]float64, len(workloads)),
@@ -40,13 +53,10 @@ func BuildCriticalTemps(p *sim.Pipeline, workloads []string, freqs []float64, st
 	for _, f := range freqs {
 		ct.Global[f] = math.Inf(1)
 	}
-	for _, name := range workloads {
+	for wi, name := range workloads {
 		ct.PerWorkload[name] = make(map[float64]float64, len(freqs))
-		for _, f := range freqs {
-			trace, err := p.RunStatic(name, f, steps)
-			if err != nil {
-				return nil, err
-			}
+		for fi, f := range freqs {
+			trace := traces[wi*len(freqs)+fi]
 			crit := math.Inf(1)
 			for i := range trace {
 				if trace[i].Severity.Max >= 1.0 {
@@ -125,23 +135,41 @@ func (c *ThermalController) Decide(obs Observation) float64 {
 // calibrated TH-00 controller. This is the paper's construction of TH-00:
 // a threshold safe for all workloads in the training set.
 func CalibrateThermalMargin(p *sim.Pipeline, table *CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64) (*ThermalController, error) {
+	return CalibrateThermalMarginContext(context.Background(), p, table, workloads, cfg, maxMargin, 1)
+}
+
+// CalibrateThermalMarginContext runs each margin candidate's calibration
+// loops across workers pipeline clones (0 or negative: one worker per
+// CPU). The chosen margin is identical at any worker count: the decision
+// per margin is "any incursion anywhere", which is order-independent.
+func CalibrateThermalMarginContext(ctx context.Context, p *sim.Pipeline, table *CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64, workers int) (*ThermalController, error) {
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("control: no calibration workloads")
 	}
 	for margin := 0.0; margin <= maxMargin; margin++ {
 		ctrl := NewThermalController(table, 0)
 		ctrl.Margin = margin
+		incursions, err := runner.Map(ctx, workers, len(workloads), func(ctx context.Context, i int) (int, error) {
+			w, err := workload.ByName(workloads[i])
+			if err != nil {
+				return 0, err
+			}
+			pc, err := p.Clone()
+			if err != nil {
+				return 0, err
+			}
+			res, err := RunLoop(pc, w, ctrl, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Incursions, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		safe := true
-		for _, name := range workloads {
-			w, err := workload.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunLoop(p, w, ctrl, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if res.Incursions > 0 {
+		for _, inc := range incursions {
+			if inc > 0 {
 				safe = false
 				break
 			}

@@ -1,20 +1,38 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
-// runNamed executes one closed loop on a named workload.
+// runNamed executes one closed loop on a named workload. Each call runs
+// on its own clone of the lab pipeline, so calls are safe to issue
+// concurrently (all controllers in this repo are read-only at decide
+// time).
 func (l *Lab) runNamed(name string, ctrl control.Controller) (*control.LoopResult, error) {
 	w, err := workload.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return control.RunLoop(l.pipeline, w, ctrl, l.loopConfig())
+	p, err := l.pipeline.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return control.RunLoop(p, w, ctrl, l.loopConfig())
+}
+
+// runGrid evaluates every (workload, controller) cell of a closed-loop
+// comparison across the lab's worker pool and returns the results in
+// row-major (workload, controller) order.
+func (l *Lab) runGrid(names []string, ctrls []control.Controller) ([]*control.LoopResult, error) {
+	return runner.Map(l.ctx, l.cfg.Workers, len(names)*len(ctrls), func(_ context.Context, i int) (*control.LoopResult, error) {
+		return l.runNamed(names[i/len(ctrls)], ctrls[i%len(ctrls)])
+	})
 }
 
 // Fig4Result holds the thermal-threshold case study: gromacs and gamess
@@ -26,19 +44,25 @@ type Fig4Result struct {
 
 // Fig4ThermalThresholds reproduces the Fig 4 case study.
 func Fig4ThermalThresholds(l *Lab) (*Fig4Result, error) {
+	names := []string{"gromacs", "gamess"}
+	relaxes := []int{0, 5, 10}
+	ctrls := make([]control.Controller, len(relaxes))
+	for i, relax := range relaxes {
+		th, err := l.THRelaxed(float64(relax))
+		if err != nil {
+			return nil, err
+		}
+		ctrls[i] = th
+	}
+	runs, err := l.runGrid(names, ctrls)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig4Result{Runs: make(map[string]map[int]*control.LoopResult)}
-	for _, name := range []string{"gromacs", "gamess"} {
+	for wi, name := range names {
 		res.Runs[name] = make(map[int]*control.LoopResult)
-		for _, relax := range []int{0, 5, 10} {
-			th, err := l.THRelaxed(float64(relax))
-			if err != nil {
-				return nil, err
-			}
-			r, err := l.runNamed(name, th)
-			if err != nil {
-				return nil, err
-			}
-			res.Runs[name][relax] = r
+		for ri, relax := range relaxes {
+			res.Runs[name][relax] = runs[wi*len(ctrls)+ri]
 		}
 	}
 	return res, nil
@@ -81,7 +105,10 @@ func Fig5SensorStudy(l *Lab, name string, fGHz float64) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := l.pipeline
+	p, err := l.pipeline.Clone()
+	if err != nil {
+		return nil, err
+	}
 	if err := p.WarmStart(w, fGHz); err != nil {
 		return nil, err
 	}
@@ -145,17 +172,22 @@ type Fig6Result struct {
 
 // Fig6Guardbands reproduces the guardband case study on bzip2.
 func Fig6Guardbands(l *Lab) (*Fig6Result, error) {
-	res := &Fig6Result{Runs: make(map[int]*control.LoopResult)}
-	for _, g := range []int{0, 5, 10} {
+	guardbands := []int{0, 5, 10}
+	ctrls := make([]control.Controller, len(guardbands))
+	for i, g := range guardbands {
 		ctrl, err := l.MLController(float64(g) / 100)
 		if err != nil {
 			return nil, err
 		}
-		r, err := l.runNamed("bzip2", ctrl)
-		if err != nil {
-			return nil, err
-		}
-		res.Runs[g] = r
+		ctrls[i] = ctrl
+	}
+	runs, err := l.runGrid([]string{"bzip2"}, ctrls)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Runs: make(map[int]*control.LoopResult)}
+	for i, g := range guardbands {
+		res.Runs[g] = runs[i]
 	}
 	return res, nil
 }
@@ -224,14 +256,15 @@ func Fig7Performance(l *Lab) (*Fig7Result, error) {
 		res.Controllers = append(res.Controllers, c.Name())
 	}
 	const baseline = 3.75
+	runs, err := l.runGrid(l.cfg.TestNames, ctrls)
+	if err != nil {
+		return nil, err
+	}
 	sums := map[string]float64{}
-	for _, name := range l.cfg.TestNames {
+	for wi, name := range l.cfg.TestNames {
 		row := Fig7Row{Workload: name, NormFreq: map[string]float64{}, Incursions: map[string]int{}}
-		for _, c := range ctrls {
-			r, err := l.runNamed(name, c)
-			if err != nil {
-				return nil, err
-			}
+		for ci, c := range ctrls {
+			r := runs[wi*len(ctrls)+ci]
 			row.NormFreq[c.Name()] = r.AvgFreq / baseline
 			row.Incursions[c.Name()] = r.Incursions
 			sums[c.Name()] += r.AvgFreq / baseline
@@ -305,15 +338,16 @@ func Fig8DynamicTraces(l *Lab) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctrls := []control.Controller{th00, ml05}
+	runs, err := l.runGrid(l.cfg.TestNames, ctrls)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig8Result{Runs: make(map[string]map[string]*control.LoopResult)}
-	for _, name := range l.cfg.TestNames {
+	for wi, name := range l.cfg.TestNames {
 		res.Runs[name] = make(map[string]*control.LoopResult)
-		for _, c := range []control.Controller{th00, ml05} {
-			r, err := l.runNamed(name, c)
-			if err != nil {
-				return nil, err
-			}
-			res.Runs[name][c.Name()] = r
+		for ci, c := range ctrls {
+			res.Runs[name][c.Name()] = runs[wi*len(ctrls)+ci]
 		}
 	}
 	return res, nil

@@ -52,15 +52,17 @@ func CochranComparison(l *Lab) (*CochranResult, error) {
 		Rows:       map[string]map[string]float64{},
 		Incursions: map[string]map[string]int{},
 	}
+	ctrls := []control.Controller{cr, ml05}
+	runs, err := l.runGrid(l.cfg.TestNames, ctrls)
+	if err != nil {
+		return nil, err
+	}
 	var sumCR, sumML float64
-	for _, name := range l.cfg.TestNames {
+	for wi, name := range l.cfg.TestNames {
 		res.Rows[name] = map[string]float64{}
 		res.Incursions[name] = map[string]int{}
-		for _, ctrl := range []control.Controller{cr, ml05} {
-			r, err := l.runNamed(name, ctrl)
-			if err != nil {
-				return nil, err
-			}
+		for ci, ctrl := range ctrls {
+			r := runs[wi*len(ctrls)+ci]
 			res.Rows[name][ctrl.Name()] = r.AvgFreq
 			res.Incursions[name][ctrl.Name()] = r.Incursions
 		}
@@ -126,13 +128,13 @@ func DelayStudy(l *Lab, name string, maxMargin float64) (*DelayStudyResult, erro
 		if err != nil {
 			return nil, err
 		}
-		ct, err := control.BuildCriticalTemps(p, []string{name}, l.cfg.Frequencies,
-			l.cfg.StepsPerRun, l.cfg.SensorIndex)
+		ct, err := control.BuildCriticalTempsContext(l.ctx, p, []string{name}, l.cfg.Frequencies,
+			l.cfg.StepsPerRun, l.cfg.SensorIndex, l.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		lc := l.loopConfig()
-		th, err := control.CalibrateThermalMargin(p, ct, []string{name}, lc, maxMargin)
+		th, err := control.CalibrateThermalMarginContext(l.ctx, p, ct, []string{name}, lc, maxMargin, l.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -4,10 +4,17 @@
 // they share a Lab that lazily builds and caches the expensive artefacts:
 // the static-sweep oracle, the critical-temperature table, the training
 // and test datasets, and the trained Boreas predictor.
+//
+// The lab runs every campaign on the internal/runner execution engine:
+// independent simulation runs fan across a bounded worker pool (the
+// Config.Workers knob) and results assemble in canonical order, so every
+// artefact is bit-identical at any parallelism.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
@@ -26,7 +33,7 @@ type Config struct {
 	Frequencies []float64
 	// StepsPerRun is the trace length (150 = 12 ms).
 	StepsPerRun int
-	// Horizon is the label horizon for datasets.
+	// Horizon is the label horizon for datasets (36 steps ~ 2.9 ms here).
 	Horizon int
 	// WalksPerWorkload sizes the frequency-walk augmentation.
 	WalksPerWorkload int
@@ -34,6 +41,11 @@ type Config struct {
 	SensorIndex int
 	// TrainNames and TestNames are the Table III sets.
 	TrainNames, TestNames []string
+	// Workers bounds the parallelism of every campaign the lab runs:
+	// dataset builds, the oracle and calibration sweeps, closed-loop
+	// evaluations and GBT training. 0 or negative means one worker per
+	// CPU. Results are bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper-scale campaign (minutes of CPU).
@@ -67,22 +79,45 @@ func QuickConfig() Config {
 	return cfg
 }
 
-// Lab owns the shared artefacts. Not safe for concurrent use.
+// memo is a concurrency-safe lazily-built artefact: the build function
+// runs at most once and concurrent callers share the result (or the
+// build error).
+type memo[T any] struct {
+	once sync.Once
+	v    T
+	err  error
+}
+
+func (m *memo[T]) get(build func() (T, error)) (T, error) {
+	m.once.Do(func() { m.v, m.err = build() })
+	return m.v, m.err
+}
+
+// Lab owns the shared artefacts. The artefact getters are concurrency-
+// safe memoizations (each artefact is built at most once); the campaigns
+// behind them run on the worker pool sized by Config.Workers.
 type Lab struct {
 	cfg Config
+	ctx context.Context
 
 	pipeline  *sim.Pipeline
-	oracle    *control.OracleTable
-	critTemps *control.CriticalTemps
-	trainData *telemetry.Dataset
-	testData  *telemetry.Dataset
-	predictor *core.Predictor
-	fullModel *gbt.Model // trained on all 78 features (Table IV study)
-	th00      *control.ThermalController
+	oracle    memo[*control.OracleTable]
+	critTemps memo[*control.CriticalTemps]
+	trainData memo[*telemetry.Dataset]
+	testData  memo[*telemetry.Dataset]
+	predictor memo[*core.Predictor]
+	fullModel memo[*gbt.Model] // trained on all 78 features (Table IV study)
+	th00      memo[*control.ThermalController]
 }
 
 // NewLab validates the configuration and builds the pipeline.
 func NewLab(cfg Config) (*Lab, error) {
+	return NewLabContext(context.Background(), cfg)
+}
+
+// NewLabContext is NewLab with a cancellation context: cancelling ctx
+// aborts any campaign the lab is running (CLI Ctrl-C propagates here).
+func NewLabContext(ctx context.Context, cfg Config) (*Lab, error) {
 	if len(cfg.Frequencies) == 0 || cfg.StepsPerRun <= 0 {
 		return nil, fmt.Errorf("experiments: empty frequency list or steps")
 	}
@@ -93,59 +128,45 @@ func NewLab(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Lab{cfg: cfg, pipeline: p}, nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Lab{cfg: cfg, ctx: ctx, pipeline: p}, nil
 }
 
 // Config returns the lab configuration.
 func (l *Lab) Config() Config { return l.cfg }
 
-// Pipeline returns the shared pipeline.
+// Pipeline returns the lab's reference pipeline. It is stateful: clone it
+// (Pipeline.Clone) rather than sharing it across goroutines.
 func (l *Lab) Pipeline() *sim.Pipeline { return l.pipeline }
 
 // Oracle lazily builds the static-sweep oracle over all 27 workloads.
 func (l *Lab) Oracle() (*control.OracleTable, error) {
-	if l.oracle != nil {
-		return l.oracle, nil
-	}
-	all := append(append([]string{}, l.cfg.TrainNames...), l.cfg.TestNames...)
-	ot, err := control.BuildOracle(l.pipeline, all, l.cfg.Frequencies, l.cfg.StepsPerRun)
-	if err != nil {
-		return nil, err
-	}
-	l.oracle = ot
-	return ot, nil
+	return l.oracle.get(func() (*control.OracleTable, error) {
+		all := append(append([]string{}, l.cfg.TrainNames...), l.cfg.TestNames...)
+		return control.BuildOracleContext(l.ctx, l.pipeline, all, l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.Workers)
+	})
 }
 
 // CriticalTemps lazily builds the training-set threshold table.
 func (l *Lab) CriticalTemps() (*control.CriticalTemps, error) {
-	if l.critTemps != nil {
-		return l.critTemps, nil
-	}
-	ct, err := control.BuildCriticalTemps(l.pipeline, l.cfg.TrainNames,
-		l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.SensorIndex)
-	if err != nil {
-		return nil, err
-	}
-	l.critTemps = ct
-	return ct, nil
+	return l.critTemps.get(func() (*control.CriticalTemps, error) {
+		return control.BuildCriticalTempsContext(l.ctx, l.pipeline, l.cfg.TrainNames,
+			l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.SensorIndex, l.cfg.Workers)
+	})
 }
 
 // TH00 lazily calibrates the safe thermal controller on the training set.
 func (l *Lab) TH00() (*control.ThermalController, error) {
-	if l.th00 != nil {
-		return l.th00, nil
-	}
-	ct, err := l.CriticalTemps()
-	if err != nil {
-		return nil, err
-	}
-	lc := l.loopConfig()
-	th, err := control.CalibrateThermalMargin(l.pipeline, ct, l.cfg.TrainNames, lc, 30)
-	if err != nil {
-		return nil, err
-	}
-	l.th00 = th
-	return th, nil
+	return l.th00.get(func() (*control.ThermalController, error) {
+		ct, err := l.CriticalTemps()
+		if err != nil {
+			return nil, err
+		}
+		lc := l.loopConfig()
+		return control.CalibrateThermalMarginContext(l.ctx, l.pipeline, ct, l.cfg.TrainNames, lc, 30, l.cfg.Workers)
+	})
 }
 
 // THRelaxed returns a TH-xx controller sharing TH-00's calibration.
@@ -169,85 +190,72 @@ func (l *Lab) loopConfig() control.LoopConfig {
 
 // TrainingData lazily builds the static + frequency-walk training dataset.
 func (l *Lab) TrainingData() (*telemetry.Dataset, error) {
-	if l.trainData != nil {
-		return l.trainData, nil
-	}
-	bc := telemetry.DefaultBuildConfig(l.cfg.TrainNames, l.cfg.Frequencies)
-	bc.Sim = l.cfg.Sim
-	bc.StepsPerRun = l.cfg.StepsPerRun
-	bc.Horizon = l.cfg.Horizon
-	bc.SensorIndex = l.cfg.SensorIndex
-	ds, err := telemetry.Build(bc)
-	if err != nil {
-		return nil, err
-	}
-	wc := telemetry.DefaultWalkConfig(l.cfg.TrainNames, l.cfg.Frequencies)
-	wc.Sim = l.cfg.Sim
-	wc.Horizon = min(l.cfg.Horizon, wc.HoldSteps-1)
-	wc.WalksPerWorkload = l.cfg.WalksPerWorkload
-	wc.SensorIndex = l.cfg.SensorIndex
-	dsw, err := telemetry.BuildWalk(wc)
-	if err != nil {
-		return nil, err
-	}
-	if err := ds.Merge(dsw); err != nil {
-		return nil, err
-	}
-	l.trainData = ds
-	return ds, nil
+	return l.trainData.get(func() (*telemetry.Dataset, error) {
+		bc := telemetry.DefaultBuildConfig(l.cfg.TrainNames, l.cfg.Frequencies)
+		bc.Sim = l.cfg.Sim
+		bc.StepsPerRun = l.cfg.StepsPerRun
+		bc.Horizon = l.cfg.Horizon
+		bc.SensorIndex = l.cfg.SensorIndex
+		bc.Workers = l.cfg.Workers
+		ds, err := telemetry.BuildContext(l.ctx, bc)
+		if err != nil {
+			return nil, err
+		}
+		wc := telemetry.DefaultWalkConfig(l.cfg.TrainNames, l.cfg.Frequencies)
+		wc.Sim = l.cfg.Sim
+		wc.Horizon = min(l.cfg.Horizon, wc.HoldSteps-1)
+		wc.WalksPerWorkload = l.cfg.WalksPerWorkload
+		wc.SensorIndex = l.cfg.SensorIndex
+		wc.Workers = l.cfg.Workers
+		dsw, err := telemetry.BuildWalkContext(l.ctx, wc)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.Merge(dsw); err != nil {
+			return nil, err
+		}
+		return ds, nil
+	})
 }
 
 // TestData lazily builds the test-set dataset (static runs only).
 func (l *Lab) TestData() (*telemetry.Dataset, error) {
-	if l.testData != nil {
-		return l.testData, nil
-	}
-	bc := telemetry.DefaultBuildConfig(l.cfg.TestNames, l.cfg.Frequencies)
-	bc.Sim = l.cfg.Sim
-	bc.StepsPerRun = l.cfg.StepsPerRun
-	bc.Horizon = l.cfg.Horizon
-	bc.SensorIndex = l.cfg.SensorIndex
-	ds, err := telemetry.Build(bc)
-	if err != nil {
-		return nil, err
-	}
-	l.testData = ds
-	return ds, nil
+	return l.testData.get(func() (*telemetry.Dataset, error) {
+		bc := telemetry.DefaultBuildConfig(l.cfg.TestNames, l.cfg.Frequencies)
+		bc.Sim = l.cfg.Sim
+		bc.StepsPerRun = l.cfg.StepsPerRun
+		bc.Horizon = l.cfg.Horizon
+		bc.SensorIndex = l.cfg.SensorIndex
+		bc.Workers = l.cfg.Workers
+		return telemetry.BuildContext(l.ctx, bc)
+	})
 }
 
 // Predictor lazily trains the Boreas model (Table II configuration).
 func (l *Lab) Predictor() (*core.Predictor, error) {
-	if l.predictor != nil {
-		return l.predictor, nil
-	}
-	ds, err := l.TrainingData()
-	if err != nil {
-		return nil, err
-	}
-	pred, err := core.Train(ds, core.DefaultTrainConfig())
-	if err != nil {
-		return nil, err
-	}
-	l.predictor = pred
-	return pred, nil
+	return l.predictor.get(func() (*core.Predictor, error) {
+		ds, err := l.TrainingData()
+		if err != nil {
+			return nil, err
+		}
+		tc := core.DefaultTrainConfig()
+		tc.Params.Workers = l.cfg.Workers
+		return core.Train(ds, tc)
+	})
 }
 
 // FullModel lazily trains a GBT on all 78 features (the starting point of
 // the Table IV feature-selection study).
 func (l *Lab) FullModel() (*gbt.Model, error) {
-	if l.fullModel != nil {
-		return l.fullModel, nil
-	}
-	ds, err := l.TrainingData()
-	if err != nil {
-		return nil, err
-	}
-	m, err := gbt.Train(ds.X, ds.Y, ds.FeatureNames, gbt.DefaultParams())
-	if err != nil {
-		return nil, err
-	}
-	l.fullModel = m
-	return m, nil
+	return l.fullModel.get(func() (*gbt.Model, error) {
+		ds, err := l.TrainingData()
+		if err != nil {
+			return nil, err
+		}
+		params := gbt.DefaultParams()
+		params.Workers = l.cfg.Workers
+		return gbt.Train(ds.X, ds.Y, ds.FeatureNames, params)
+	})
 }
 
 // MLController builds an ML-xx controller from the lab's predictor.
@@ -257,11 +265,4 @@ func (l *Lab) MLController(guardband float64) (*core.Controller, error) {
 		return nil, err
 	}
 	return core.NewController(pred, guardband)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

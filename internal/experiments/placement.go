@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -40,21 +42,28 @@ func SensorPlacement(l *Lab, k int) (*PlacementResult, error) {
 	p := l.pipeline
 	therm := p.Thermal()
 
-	var sites [][2]float64
-	for _, name := range l.cfg.TrainNames {
-		w, err := workload.ByName(name)
+	// Harvest each workload's hot run on its own pipeline clone, then
+	// concatenate the per-workload sites in campaign order so the k-means
+	// input (and thus the placement) is identical at any worker count.
+	perWorkload, err := runner.Map(l.ctx, l.cfg.Workers, len(l.cfg.TrainNames), func(_ context.Context, i int) ([][2]float64, error) {
+		w, err := workload.ByName(l.cfg.TrainNames[i])
+		if err != nil {
+			return nil, err
+		}
+		pc, err := p.Clone()
 		if err != nil {
 			return nil, err
 		}
 		// Run hot: the highest configured frequency exposes each
 		// workload's hotspot sites.
 		f := l.cfg.Frequencies[len(l.cfg.Frequencies)-1]
-		if err := p.WarmStart(w, f); err != nil {
+		if err := pc.WarmStart(w, f); err != nil {
 			return nil, err
 		}
 		run := w.NewRun(l.cfg.Sim.Seed)
+		var sites [][2]float64
 		for step := 0; step < l.cfg.StepsPerRun; step++ {
-			r, err := p.Step(run, f)
+			r, err := pc.Step(run, f)
 			if err != nil {
 				return nil, err
 			}
@@ -64,6 +73,14 @@ func SensorPlacement(l *Lab, k int) (*PlacementResult, error) {
 				sites = append(sites, [2]float64{cx, cy})
 			}
 		}
+		return sites, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sites [][2]float64
+	for _, s := range perWorkload {
+		sites = append(sites, s...)
 	}
 	if len(sites) < k {
 		return nil, fmt.Errorf("experiments: only %d hotspot sites harvested for %d sensors", len(sites), k)

@@ -9,9 +9,12 @@
 package gbt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/hotgauge/boreas/internal/runner"
 )
 
 // Params are the training hyper-parameters (Table II vocabulary).
@@ -37,6 +40,13 @@ type Params struct {
 	// underprediction is silicon damage, the cost of overprediction is a
 	// slightly lower frequency. 0 or 1 means the plain symmetric loss.
 	SafetyWeight float64
+	// Workers bounds the parallelism of the per-node split search, which
+	// scans each feature independently. 0 or negative means one worker
+	// per CPU. The trained model is bit-identical at any worker count:
+	// per-feature scans are independent and their candidates merge in
+	// feature order. Workers is a run-time knob, not a model property,
+	// and is not serialised.
+	Workers int
 }
 
 // DefaultParams returns the paper's chosen configuration (Table II):
@@ -213,15 +223,18 @@ func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model,
 	tr.hess = make([]float64, n)
 	tr.nodeOf = make([]int32, n)
 	tr.sorted = make([][]int32, d)
-	for f := 0; f < d; f++ {
+	// The per-feature presort is independent per feature; fan it across
+	// the pool. Each slot is written only by its own task, so the result
+	// is identical at any worker count.
+	_ = runner.ForEach(context.Background(), p.Workers, d, func(_ context.Context, f int) error {
 		idx := make([]int32, n)
 		for i := range idx {
 			idx[i] = int32(i)
 		}
-		ff := f
-		sort.Slice(idx, func(a, b int) bool { return x[idx[a]][ff] < x[idx[b]][ff] })
+		sort.Slice(idx, func(a, b int) bool { return x[idx[a]][f] < x[idx[b]][f] })
 		tr.sorted[f] = idx
-	}
+		return nil
+	})
 
 	pred := make([]float64, n)
 	for i := range pred {
@@ -292,41 +305,28 @@ func (tr *trainer) buildTree() Tree {
 			}
 		}
 
+		// Exact greedy split search, fanned across features: each feature
+		// scan is independent (private accumulators over the shared
+		// read-only sort order and gradients). Candidates merge in feature
+		// order with a strict greater-than, so ties resolve to the lowest
+		// feature index exactly as the sequential scan did, and the chosen
+		// splits are bit-identical at any worker count.
+		featBest := make([][]splitChoice, tr.nFeature)
+		_ = runner.ForEach(context.Background(), p.Workers, tr.nFeature, func(_ context.Context, f int) error {
+			featBest[f] = tr.scanFeature(f, pos, gTot, hTot)
+			return nil
+		})
+
 		best := make([]splitChoice, k)
 		for i := range best {
 			best[i].gain = math.Inf(-1)
 			best[i].feature = -1
 		}
-
-		gl := make([]float64, k)
-		hl := make([]float64, k)
-		lastVal := make([]float64, k)
-		started := make([]bool, k)
-
-		score := func(g, h float64) float64 {
-			return g * g / (h + p.Lambda)
-		}
-
 		for f := 0; f < tr.nFeature; f++ {
-			for i := range gl {
-				gl[i], hl[i], started[i] = 0, 0, false
-			}
-			for _, ii := range tr.sorted[f] {
-				j, ok := pos[tr.nodeOf[ii]]
-				if !ok {
-					continue
+			for j, c := range featBest[f] {
+				if c.feature >= 0 && c.gain > best[j].gain {
+					best[j] = c
 				}
-				v := tr.x[ii][f]
-				if started[j] && v > lastVal[j] && hl[j] >= p.MinChildWeight && hTot[j]-hl[j] >= p.MinChildWeight {
-					gain := 0.5*(score(gl[j], hl[j])+score(gTot[j]-gl[j], hTot[j]-hl[j])-score(gTot[j], hTot[j])) - p.Gamma
-					if gain > best[j].gain {
-						best[j] = splitChoice{gain: gain, feature: int32(f), thresh: (lastVal[j] + v) / 2}
-					}
-				}
-				gl[j] += tr.grad[ii]
-				hl[j] += tr.hess[ii]
-				lastVal[j] = v
-				started[j] = true
 			}
 		}
 
@@ -390,6 +390,46 @@ func (tr *trainer) buildTree() Tree {
 		}
 	}
 	return tree
+}
+
+// scanFeature runs the exact greedy split scan of one feature over the
+// active nodes of the current level and returns the best candidate per
+// node position (feature == -1 where the feature offers no valid split).
+// It reads only shared immutable state plus its own scratch, so scans of
+// different features can run concurrently.
+func (tr *trainer) scanFeature(f int, pos map[int32]int, gTot, hTot []float64) []splitChoice {
+	p := tr.p
+	k := len(gTot)
+	best := make([]splitChoice, k)
+	for i := range best {
+		best[i].gain = math.Inf(-1)
+		best[i].feature = -1
+	}
+	gl := make([]float64, k)
+	hl := make([]float64, k)
+	lastVal := make([]float64, k)
+	started := make([]bool, k)
+	score := func(g, h float64) float64 {
+		return g * g / (h + p.Lambda)
+	}
+	for _, ii := range tr.sorted[f] {
+		j, ok := pos[tr.nodeOf[ii]]
+		if !ok {
+			continue
+		}
+		v := tr.x[ii][f]
+		if started[j] && v > lastVal[j] && hl[j] >= p.MinChildWeight && hTot[j]-hl[j] >= p.MinChildWeight {
+			gain := 0.5*(score(gl[j], hl[j])+score(gTot[j]-gl[j], hTot[j]-hl[j])-score(gTot[j], hTot[j])) - p.Gamma
+			if gain > best[j].gain {
+				best[j] = splitChoice{gain: gain, feature: int32(f), thresh: (lastVal[j] + v) / 2}
+			}
+		}
+		gl[j] += tr.grad[ii]
+		hl[j] += tr.hess[ii]
+		lastVal[j] = v
+		started[j] = true
+	}
+	return best
 }
 
 // grad2leaf converts node aggregates into the (shrunk) leaf weight.

@@ -201,6 +201,21 @@ func New(cfg Config) (*Pipeline, error) {
 // Config returns the pipeline configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// Clone builds a fresh pipeline with the same configuration. Pipelines
+// are stateful and not safe for concurrent use; the campaign runner hands
+// each worker task its own clone. Because every run starts with a full
+// Reset/WarmStart, a clone produces bit-identical traces to the pipeline
+// it was cloned from.
+func (p *Pipeline) Clone() (*Pipeline, error) { return New(p.cfg) }
+
+// CloneWithSeed builds a fresh pipeline with the same configuration but a
+// different seed, for per-task seed derivation in parallel campaigns.
+func (p *Pipeline) CloneWithSeed(seed uint64) (*Pipeline, error) {
+	cfg := p.cfg
+	cfg.Seed = seed
+	return New(cfg)
+}
+
 // Floorplan returns the die layout.
 func (p *Pipeline) Floorplan() *floorplan.Floorplan { return p.fp }
 

@@ -1,15 +1,20 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
+	"math"
 
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 )
 
 // BuildConfig describes a dataset-extraction campaign: fixed-frequency
 // runs of each workload with instances sampled every timestep.
 type BuildConfig struct {
-	// Sim is the pipeline configuration.
+	// Sim is the pipeline configuration. Sim.Seed is the campaign base
+	// seed; every (workload, frequency) run derives its own seed from it,
+	// so runs are decorrelated but fully determined by the configuration.
 	Sim sim.Config
 	// Workloads to run.
 	Workloads []string
@@ -27,11 +32,17 @@ type BuildConfig struct {
 	Horizon int
 	// SensorIndex selects which thermal sensor feeds the sensor feature.
 	SensorIndex int
+	// Workers bounds how many (workload, frequency) runs execute
+	// concurrently, each on its own pipeline. 0 or negative means one
+	// worker per CPU. The built dataset is byte-identical at any worker
+	// count: rows are merged in canonical (workload, frequency) order and
+	// per-run seeds depend only on the run's coordinates.
+	Workers int
 }
 
 // DefaultBuildConfig returns the standard extraction campaign over the
-// given workloads: all 13 frequencies, 150-step runs, 12-step horizon,
-// sensor tsens03.
+// given workloads: all 13 frequencies, 150-step runs, 60-step horizon,
+// sensor tsens03, one worker per CPU.
 func DefaultBuildConfig(workloads []string, freqs []float64) BuildConfig {
 	return BuildConfig{
 		Sim:         sim.DefaultConfig(),
@@ -60,30 +71,66 @@ func (c BuildConfig) Validate() error {
 	return nil
 }
 
+// RunSeed derives the simulation seed of one (workload, frequency) run
+// from the campaign base seed and the run's coordinates. Both the
+// sequential and the parallel build paths use it, so the dataset content
+// is independent of the worker count.
+func (c BuildConfig) RunSeed(workload string, fGHz float64) uint64 {
+	return runner.DeriveSeed(c.Sim.Seed, runner.HashString(workload), math.Float64bits(fGHz))
+}
+
 // Build runs the extraction campaign and returns the labelled dataset
 // with the full 78-feature schema. The delayed sensor reading is used for
 // the sensor feature - the model must work with what real hardware sees.
 func Build(cfg BuildConfig) (*Dataset, error) {
+	return BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build with cancellation: the (workload, frequency) runs
+// are fanned across cfg.Workers pipelines and their rows merged in
+// canonical campaign order.
+func BuildContext(ctx context.Context, cfg BuildConfig) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ds := NewDataset(FullFeatureNames())
-	p, err := sim.New(cfg.Sim)
+	type task struct {
+		workload string
+		freq     float64
+	}
+	tasks := make([]task, 0, len(cfg.Workloads)*len(cfg.Frequencies))
+	for _, name := range cfg.Workloads {
+		for _, f := range cfg.Frequencies {
+			tasks = append(tasks, task{name, f})
+		}
+	}
+	frags, err := runner.Map(ctx, cfg.Workers, len(tasks), func(ctx context.Context, i int) (*Dataset, error) {
+		t := tasks[i]
+		scfg := cfg.Sim
+		scfg.Seed = cfg.RunSeed(t.workload, t.freq)
+		p, err := sim.New(scfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SensorIndex >= p.NumSensors() {
+			return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
+		}
+		trace, err := p.RunStatic(t.workload, t.freq, cfg.StepsPerRun)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %s @ %g GHz: %w", t.workload, t.freq, err)
+		}
+		frag := NewDataset(FullFeatureNames())
+		if err := AppendTrace(frag, trace, t.workload, cfg.Horizon, cfg.SensorIndex); err != nil {
+			return nil, err
+		}
+		return frag, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if cfg.SensorIndex >= p.NumSensors() {
-		return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
-	}
-	for _, name := range cfg.Workloads {
-		for _, f := range cfg.Frequencies {
-			trace, err := p.RunStatic(name, f, cfg.StepsPerRun)
-			if err != nil {
-				return nil, fmt.Errorf("telemetry: %s @ %g GHz: %w", name, f, err)
-			}
-			if err := AppendTrace(ds, trace, name, cfg.Horizon, cfg.SensorIndex); err != nil {
-				return nil, err
-			}
+	ds := NewDataset(FullFeatureNames())
+	for _, frag := range frags {
+		if err := ds.Merge(frag); err != nil {
+			return nil, err
 		}
 	}
 	return ds, nil

@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hotgauge/boreas/internal/rng"
+	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/workload"
 )
@@ -35,9 +37,16 @@ type WalkConfig struct {
 	SensorIndex int
 	// Seed drives the schedule generator.
 	Seed uint64
+	// Workers bounds how many walks execute concurrently, each on its own
+	// pipeline. 0 or negative means one worker per CPU. The dataset is
+	// byte-identical at any worker count: walks merge in canonical
+	// (workload, walk) order and every walk's seeds derive from its own
+	// coordinates.
+	Workers int
 }
 
-// DefaultWalkConfig returns the standard walk campaign. Walks are
+// DefaultWalkConfig returns the standard walk campaign: 600-step walks,
+// 78-step holds, a 60-step horizon, 5 walks per workload. Walks are
 // restricted to the upper portion of the frequency range: controller
 // decisions only matter near the safe-frequency ceilings, and spending
 // the walk budget there doubles the coverage of the danger boundary (the
@@ -82,87 +91,116 @@ func (c WalkConfig) Validate() error {
 // BuildWalk runs the campaign and returns the labelled dataset (full
 // 78-feature schema, mergeable with Build's output).
 func BuildWalk(cfg WalkConfig) (*Dataset, error) {
+	return BuildWalkContext(context.Background(), cfg)
+}
+
+// BuildWalkContext is BuildWalk with cancellation: the (workload, walk)
+// runs are fanned across cfg.Workers pipelines and merged in canonical
+// campaign order.
+func BuildWalkContext(ctx context.Context, cfg WalkConfig) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ds := NewDataset(FullFeatureNames())
-	p, err := sim.New(cfg.Sim)
+	type task struct {
+		workload string
+		walk     int
+	}
+	tasks := make([]task, 0, len(cfg.Workloads)*cfg.WalksPerWorkload)
+	for _, name := range cfg.Workloads {
+		for walk := 0; walk < cfg.WalksPerWorkload; walk++ {
+			tasks = append(tasks, task{name, walk})
+		}
+	}
+	frags, err := runner.Map(ctx, cfg.Workers, len(tasks), func(ctx context.Context, i int) (*Dataset, error) {
+		t := tasks[i]
+		frag := NewDataset(FullFeatureNames())
+		if err := buildOneWalk(cfg, t.workload, t.walk, frag); err != nil {
+			return nil, err
+		}
+		return frag, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if cfg.SensorIndex >= p.NumSensors() {
-		return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
-	}
-	for _, name := range cfg.Workloads {
-		w, err := workload.ByName(name)
-		if err != nil {
+	ds := NewDataset(FullFeatureNames())
+	for _, frag := range frags {
+		if err := ds.Merge(frag); err != nil {
 			return nil, err
-		}
-		for walk := 0; walk < cfg.WalksPerWorkload; walk++ {
-			r := rng.New(cfg.Seed ^ uint64(walk+1)*0x9e3779b97f4a7c15 ^ hashName(name))
-			fi := r.Intn(len(cfg.Frequencies))
-			if err := p.WarmStart(w, cfg.Frequencies[fi]); err != nil {
-				return nil, err
-			}
-			run := w.NewRun(cfg.Sim.Seed + uint64(walk))
-
-			trace := make([]sim.StepResult, 0, cfg.StepsPerWalk)
-			holds := make([]int, 0, cfg.StepsPerWalk) // hold-start index per step
-			holdStart := 0
-			for step := 0; step < cfg.StepsPerWalk; step++ {
-				if step > 0 && step%cfg.HoldSteps == 0 {
-					// Random move of 1-2 bins, occasionally a long jump,
-					// bounded to the allowed range.
-					delta := 1 + r.Intn(2)
-					if r.Bernoulli(0.15) {
-						delta += 2
-					}
-					if r.Bernoulli(0.5) {
-						delta = -delta
-					}
-					fi += delta
-					if fi < 0 {
-						fi = 0
-					}
-					if fi >= len(cfg.Frequencies) {
-						fi = len(cfg.Frequencies) - 1
-					}
-					holdStart = step
-				}
-				res, err := p.Step(run, cfg.Frequencies[fi])
-				if err != nil {
-					return nil, err
-				}
-				trace = append(trace, res)
-				holds = append(holds, holdStart)
-			}
-
-			// Emit instances whose horizon stays within one hold.
-			for t := 0; t+cfg.Horizon < len(trace); t++ {
-				if holds[t+cfg.Horizon] != holds[t] {
-					continue
-				}
-				label := 0.0
-				for h := 1; h <= cfg.Horizon; h++ {
-					if s := trace[t+h].Severity.Max; s > label {
-						label = s
-					}
-				}
-				x := Extract(trace[t].Counters, trace[t].SensorDelayed[cfg.SensorIndex])
-				if err := ds.Add(x, label, name); err != nil {
-					return nil, err
-				}
-			}
 		}
 	}
 	return ds, nil
 }
 
-func hashName(s string) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
+// buildOneWalk runs one frequency walk on a private pipeline and appends
+// its instances to ds. All randomness derives from the walk's (workload,
+// walk-index) coordinates, independent of execution order.
+func buildOneWalk(cfg WalkConfig, name string, walk int, ds *Dataset) error {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return err
 	}
-	return h
+	scfg := cfg.Sim
+	scfg.Seed = runner.DeriveSeed(cfg.Sim.Seed, runner.HashString(name), uint64(walk))
+	p, err := sim.New(scfg)
+	if err != nil {
+		return err
+	}
+	if cfg.SensorIndex >= p.NumSensors() {
+		return fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
+	}
+	r := rng.New(runner.DeriveSeed(cfg.Seed, runner.HashString(name), uint64(walk), 1))
+	fi := r.Intn(len(cfg.Frequencies))
+	if err := p.WarmStart(w, cfg.Frequencies[fi]); err != nil {
+		return err
+	}
+	run := w.NewRun(scfg.Seed)
+
+	trace := make([]sim.StepResult, 0, cfg.StepsPerWalk)
+	holds := make([]int, 0, cfg.StepsPerWalk) // hold-start index per step
+	holdStart := 0
+	for step := 0; step < cfg.StepsPerWalk; step++ {
+		if step > 0 && step%cfg.HoldSteps == 0 {
+			// Random move of 1-2 bins, occasionally a long jump,
+			// bounded to the allowed range.
+			delta := 1 + r.Intn(2)
+			if r.Bernoulli(0.15) {
+				delta += 2
+			}
+			if r.Bernoulli(0.5) {
+				delta = -delta
+			}
+			fi += delta
+			if fi < 0 {
+				fi = 0
+			}
+			if fi >= len(cfg.Frequencies) {
+				fi = len(cfg.Frequencies) - 1
+			}
+			holdStart = step
+		}
+		res, err := p.Step(run, cfg.Frequencies[fi])
+		if err != nil {
+			return err
+		}
+		trace = append(trace, res)
+		holds = append(holds, holdStart)
+	}
+
+	// Emit instances whose horizon stays within one hold.
+	for t := 0; t+cfg.Horizon < len(trace); t++ {
+		if holds[t+cfg.Horizon] != holds[t] {
+			continue
+		}
+		label := 0.0
+		for h := 1; h <= cfg.Horizon; h++ {
+			if s := trace[t+h].Severity.Max; s > label {
+				label = s
+			}
+		}
+		x := Extract(trace[t].Counters, trace[t].SensorDelayed[cfg.SensorIndex])
+		if err := ds.Add(x, label, name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
