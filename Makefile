@@ -1,12 +1,14 @@
 # Boreas reproduction - build and verification targets.
 #
-# `make ci` is the expanded tier-1 gate: build, vet, tests, and the race
+# `make ci` is the expanded tier-1 gate: build, vet, tests, the race
 # detector over every package (the execution engine makes the campaign
-# layers concurrent, so the race detector is part of the gate).
+# layers concurrent, so the race detector is part of the gate), and a
+# short fuzz smoke over the model deserializer (the one parser that eats
+# externally supplied bytes).
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-parallel clean
+.PHONY: all build vet test race fuzz-smoke ci bench bench-parallel clean
 
 all: build
 
@@ -22,7 +24,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet test race
+# 10-second fuzz smoke: LoadModel must never panic on arbitrary bytes.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzLoadModel -fuzztime=10s ./internal/ml/gbt
+
+ci: build vet test race fuzz-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -37,6 +37,7 @@ import (
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
 	"github.com/hotgauge/boreas/internal/experiments"
+	"github.com/hotgauge/boreas/internal/faults"
 	"github.com/hotgauge/boreas/internal/hotspot"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
 	"github.com/hotgauge/boreas/internal/power"
@@ -240,13 +241,68 @@ func BuildOracleContext(ctx context.Context, p *Pipeline, workloads []string, fr
 	return control.BuildOracleContext(ctx, p, workloads, freqs, steps, workers)
 }
 
+// Fault injection and the guarded fallback controller.
+type (
+	// FaultClass selects a telemetry fault model (sensor stuck/dropout/
+	// spike/noise/jitter/quantize, counter zero/corrupt).
+	FaultClass = faults.Class
+	// FaultScenario is one deterministic fault-injection experiment.
+	FaultScenario = faults.Scenario
+	// SensorFaultInjector corrupts delayed sensor readings (implements
+	// the pipeline's sensor tap).
+	SensorFaultInjector = faults.SensorInjector
+	// CounterFaultInjector corrupts the counter vector a controller
+	// observes (implements LoopConfig.CounterTap).
+	CounterFaultInjector = faults.CounterInjector
+	// GuardConfig tunes the GuardedController's detectors and
+	// degradation policy.
+	GuardConfig = control.GuardConfig
+	// GuardedController wraps a primary controller with telemetry sanity
+	// checks, a TH-style fallback, and a saturation watchdog.
+	GuardedController = control.GuardedController
+)
+
+// FaultClasses returns every injectable fault class in report order.
+func FaultClasses() []FaultClass { return faults.Classes() }
+
+// FaultTaps instantiates the injector pair for a scenario; either may be
+// nil when the scenario leaves that telemetry stream clean.
+func FaultTaps(sc FaultScenario) (*SensorFaultInjector, *CounterFaultInjector, error) {
+	return faults.Taps(sc)
+}
+
+// FaultScenarios expands classes x intensities into seeded scenarios.
+func FaultScenarios(seed uint64, classes []FaultClass, intensities []float64, start int) []FaultScenario {
+	return faults.Grid(seed, classes, intensities, start)
+}
+
+// DefaultGuardConfig returns guard thresholds tuned for the paper's
+// decision cadence.
+func DefaultGuardConfig() GuardConfig { return control.DefaultGuardConfig() }
+
+// NewGuardedController wraps primary with a fallback (typically a TH-xx
+// controller) under the given configuration (zero value: defaults).
+func NewGuardedController(primary, fallback Controller, cfg GuardConfig) (*GuardedController, error) {
+	return control.NewGuardedController(primary, fallback, cfg)
+}
+
 // Experiments: the per-table/figure generators.
 type (
 	// Lab caches the expensive shared artefacts of the experiment suite.
 	Lab = experiments.Lab
 	// ExperimentConfig scales the experiment campaign.
 	ExperimentConfig = experiments.Config
+	// FaultGridConfig scales the robustness campaign.
+	FaultGridConfig = experiments.FaultGridConfig
+	// FaultGridResult is the robustness campaign report.
+	FaultGridResult = experiments.FaultGridResult
 )
+
+// FaultGrid evaluates controllers under injected telemetry faults (the
+// robustness campaign behind `boreas -experiment faults`).
+func FaultGrid(l *Lab, cfg FaultGridConfig) (*FaultGridResult, error) {
+	return experiments.FaultGrid(l, cfg)
+}
 
 // DefaultExperimentConfig is the paper-scale campaign.
 func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }

@@ -4,6 +4,7 @@
 //	boreas -experiment fig7         # just the headline comparison
 //	boreas -quick -experiment fig2  # reduced campaign for fast iteration
 //	boreas -experiment fig8 -out ./traces   # also write per-run CSVs
+//	boreas -quick -experiment faults        # controllers under injected telemetry faults
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 var experimentNames = []string{
 	"table1", "fig1", "fig2", "table2", "table3", "table4",
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "overhead",
-	"cochran", "delay", "placement",
+	"cochran", "delay", "placement", "faults",
 }
 
 func main() {
@@ -194,6 +195,13 @@ func main() {
 	})
 	run("placement", func() (string, error) {
 		r, err := experiments.SensorPlacement(lab, 7)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("faults", func() (string, error) {
+		r, err := experiments.FaultGrid(lab, experiments.FaultGridConfig{})
 		if err != nil {
 			return "", err
 		}

@@ -55,6 +55,18 @@ func (c *FixedController) Reset() {}
 // Decide implements Controller.
 func (c *FixedController) Decide(Observation) float64 { return c.Frequency }
 
+// CounterTap intercepts the performance-counter vector handed to the
+// controller at each decision point and may mutate it, modelling PMU
+// corruption. The fault-injection layer (internal/faults) is the
+// canonical implementation. Taps may be stateful; RunLoop resets the tap
+// at the start of every run.
+type CounterTap interface {
+	// Reset prepares the tap for a fresh run.
+	Reset()
+	// Apply may mutate the counters observed at timestep step.
+	Apply(step int, k *arch.Counters)
+}
+
 // LoopConfig parametrises a closed-loop run.
 type LoopConfig struct {
 	// Steps is the total trace length in 80 us timesteps (150 = 12 ms).
@@ -65,6 +77,16 @@ type LoopConfig struct {
 	StartFreq float64
 	// SensorIndex selects the sensor feeding the controller.
 	SensorIndex int
+	// SensorTap, when non-nil, is installed on the pipeline for the
+	// measured run (after warm-start) and corrupts the delayed sensor
+	// readings the controller and the recorded trace see. Ground-truth
+	// severity is untouched. Taps are stateful: use a fresh tap (or one
+	// that fully resets) per run.
+	SensorTap sim.SensorTap
+	// CounterTap, when non-nil, corrupts the counter vector the
+	// controller observes at each decision point. The recorded trace
+	// keeps the clean counters; only the controller is lied to.
+	CounterTap CounterTap
 }
 
 // DefaultLoopConfig matches the paper's dynamic runs: 150 steps, decisions
@@ -106,6 +128,9 @@ type LoopResult struct {
 	AvgFreq float64
 	// PeakSeverity is the maximum ground-truth severity over the run.
 	PeakSeverity float64
+	// PeakMLTD is the maximum ground-truth local temperature gradient
+	// (C) over the run.
+	PeakMLTD float64
 	// Incursions counts timesteps with severity >= 1.0 (hotspot events).
 	Incursions int
 }
@@ -123,6 +148,16 @@ func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl Controller, cfg LoopCon
 		return nil, err
 	}
 	ctrl.Reset()
+	if cfg.SensorTap != nil {
+		// Installed after WarmStart so the fault window is measured in
+		// run steps; removed before returning so the caller's pipeline is
+		// clean for the next run.
+		p.SetSensorTap(cfg.SensorTap)
+		defer p.SetSensorTap(nil)
+	}
+	if cfg.CounterTap != nil {
+		cfg.CounterTap.Reset()
+	}
 	run := w.NewRun(p.Config().Seed)
 
 	res := &LoopResult{
@@ -143,29 +178,29 @@ func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl Controller, cfg LoopCon
 		res.Freqs = append(res.Freqs, freq)
 		res.Severity = append(res.Severity, r.Severity.Max)
 		res.SensorTemp = append(res.SensorTemp, r.SensorDelayed[cfg.SensorIndex])
+		res.PeakMLTD = math.Max(res.PeakMLTD, r.Severity.MaxMLTD)
 		if r.Severity.Max >= 1.0 {
 			res.Incursions++
 		}
 		if (step+1)%cfg.DecisionPeriod == 0 && step+1 < cfg.Steps {
-			freq = power.ClampFrequency(ctrl.Decide(Observation{
+			obs := Observation{
 				Counters:    last.Counters,
 				SensorTemp:  last.SensorDelayed[cfg.SensorIndex],
 				CurrentFreq: freq,
-			}))
+			}
+			if cfg.CounterTap != nil {
+				cfg.CounterTap.Apply(step, &obs.Counters)
+			}
+			freq = power.ClampFrequency(ctrl.Decide(obs))
 		}
 	}
 	sum := 0.0
 	for _, f := range res.Freqs {
 		sum += f
-		if s := res.Severity[len(res.Severity)-1]; s > res.PeakSeverity {
-			res.PeakSeverity = s
-		}
 	}
 	res.AvgFreq = sum / float64(len(res.Freqs))
-	peak := 0.0
 	for _, s := range res.Severity {
-		peak = math.Max(peak, s)
+		res.PeakSeverity = math.Max(res.PeakSeverity, s)
 	}
-	res.PeakSeverity = peak
 	return res, nil
 }

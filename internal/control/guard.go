@@ -1,0 +1,397 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"github.com/hotgauge/boreas/internal/arch"
+	"github.com/hotgauge/boreas/internal/power"
+)
+
+// GuardConfig tunes the observation sanity checks and the degradation
+// policy of a GuardedController. All temperature knobs are in Celsius;
+// all streak/window knobs count controller decisions (960 us apart in
+// the paper's cadence), not timesteps.
+type GuardConfig struct {
+	// MinTemp and MaxTemp bound the plausible absolute sensor range: any
+	// reading outside is an anomaly (a dead sensor reads 0 C, a shorted
+	// one rails high).
+	MinTemp, MaxTemp float64
+	// MaxStep is the largest plausible reading change between consecutive
+	// decisions. The tolerance grows linearly with the age of the last
+	// good reading, so a recovered sensor is not rejected forever.
+	MaxStep float64
+	// MaxCool is the largest plausible reading DROP between consecutive
+	// decisions while the controller is not throttling. Heating rate
+	// depends on the workload, but cooling at constant-or-rising power is
+	// bounded by the package thermals, so it gets a much tighter budget
+	// than MaxStep: a reading in free fall under a climbing controller is
+	// a sensor lying low, which is exactly the fault that melts an
+	// unguarded chip. The same goodAge widening as MaxStep applies.
+	MaxCool float64
+	// FrozenStreak flags a sensor stuck at exactly the same value for
+	// this many consecutive decisions. Real readings move at the float64
+	// scale every interval; exact repeats mean a latched register.
+	FrozenStreak int
+	// SuspectWindow and SuspectLimit implement the dispersion detector:
+	// SuspectLimit anomalies within the last SuspectWindow decisions
+	// latch degraded mode even when the current reading passes the
+	// point checks (sustained noise slips individual checks).
+	SuspectWindow, SuspectLimit int
+	// CleanStreak is how many consecutive clean decisions re-promote the
+	// primary controller after a degradation.
+	CleanStreak int
+	// StaleLimit is how many decisions the last good reading may be
+	// substituted for a faulty one before the guard assumes the worst
+	// (MaxTemp) and the fallback throttles hard.
+	StaleLimit int
+	// SaturationTemp and SaturationStreak drive the watchdog: if the
+	// sanitized severity proxy (the best available sensor estimate)
+	// stays at or above SaturationTemp for SaturationStreak consecutive
+	// decisions, the controller hard-caps at CapFreq regardless of what
+	// the primary or fallback wants.
+	SaturationTemp   float64
+	SaturationStreak int
+	// CapFreq is the watchdog's hard cap (GHz).
+	CapFreq float64
+}
+
+// DefaultGuardConfig returns guard thresholds tuned for the paper's
+// cadence (decisions every 960 us on a warm-started chip, where genuine
+// inter-decision sensor movement is a few Celsius).
+func DefaultGuardConfig() GuardConfig {
+	return GuardConfig{
+		MinTemp:          15,
+		MaxTemp:          125,
+		MaxStep:          15,
+		MaxCool:          5,
+		FrozenStreak:     2,
+		SuspectWindow:    4,
+		SuspectLimit:     2,
+		CleanStreak:      4,
+		StaleLimit:       2,
+		SaturationTemp:   105,
+		SaturationStreak: 2,
+		CapFreq:          power.MinFrequencyGHz,
+	}
+}
+
+// Validate reports configuration errors.
+func (c GuardConfig) Validate() error {
+	if c.MaxTemp <= c.MinTemp {
+		return fmt.Errorf("control: guard MaxTemp %g must exceed MinTemp %g", c.MaxTemp, c.MinTemp)
+	}
+	if c.MaxStep <= 0 {
+		return fmt.Errorf("control: guard MaxStep must be positive")
+	}
+	if c.MaxCool <= 0 || c.MaxCool > c.MaxStep {
+		return fmt.Errorf("control: guard needs 0 < MaxCool <= MaxStep")
+	}
+	if c.FrozenStreak < 2 {
+		return fmt.Errorf("control: guard FrozenStreak must be at least 2")
+	}
+	if c.SuspectWindow < 1 || c.SuspectLimit < 1 || c.SuspectLimit > c.SuspectWindow {
+		return fmt.Errorf("control: guard needs 1 <= SuspectLimit <= SuspectWindow")
+	}
+	if c.CleanStreak < 1 || c.StaleLimit < 0 {
+		return fmt.Errorf("control: guard CleanStreak/StaleLimit out of range")
+	}
+	if c.SaturationStreak < 1 {
+		return fmt.Errorf("control: guard SaturationStreak must be at least 1")
+	}
+	if _, err := power.FrequencyIndex(c.CapFreq); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GuardedController wraps a primary controller (typically the Boreas ML
+// controller) with observation sanity checks and a graceful-degradation
+// policy:
+//
+//   - Every decision, the observation is screened: NaN/Inf or
+//     out-of-range sensor temperature, a frozen sensor (run-length of
+//     identical readings), an implausible jump versus the last good
+//     reading, an externally overridden frequency, and implausible
+//     counters (a chip that reports zero cycles, or non-finite cycle
+//     counts) are all anomalies.
+//   - On anomaly — or when the recent-decision window holds too many
+//     anomalies (sustained noise) — the controller degrades: the
+//     fallback (a TH-style thermal-threshold controller) decides, fed a
+//     sanitized observation that substitutes the last good reading, or
+//     MaxTemp once that reading is stale (forcing the fallback to
+//     throttle). Degraded decisions never raise the frequency — the
+//     sanitized estimate is at best stale, and climbing on untrusted
+//     telemetry is the exact failure mode being guarded against.
+//   - After CleanStreak consecutive clean decisions, the primary is
+//     re-promoted.
+//   - Independently, a watchdog hard-caps the frequency at CapFreq when
+//     the sanitized reading stays at or above SaturationTemp for
+//     SaturationStreak decisions — even a healthy primary is overridden
+//     when the severity proxy is saturated.
+//
+// The wrapper is stateful and not safe for concurrent use: evaluate
+// concurrent runs on separate GuardedController instances.
+type GuardedController struct {
+	// Primary decides while telemetry is healthy.
+	Primary Controller
+	// Fallback decides while telemetry is degraded. It only ever sees
+	// sanitized observations.
+	Fallback Controller
+	// Cfg tunes the detectors; zero value is replaced by
+	// DefaultGuardConfig in NewGuardedController.
+	Cfg GuardConfig
+
+	// mutable per-run state
+	lastRaw   float64
+	haveRaw   bool
+	deltas    []float64 // raw reading deltas ring, len SuspectWindow
+	deltaPos  int
+	deltaN    int
+	frozenRun int
+	lastGood  float64
+	haveGood  bool
+	goodAge   int
+	lastFreq  float64
+	haveFreq  bool
+	throttled bool // the last commanded decision lowered the frequency
+	degraded  bool
+	clean     int
+	satRun    int
+	recent    []bool // anomaly history ring, len SuspectWindow
+	recentPos int
+
+	// FaultyDecisions counts decisions screened as anomalous since the
+	// last Reset; DegradedDecisions counts decisions routed to the
+	// fallback (or capped by the watchdog); Decisions counts all.
+	// Reports read these after a run.
+	FaultyDecisions   int
+	DegradedDecisions int
+	Decisions         int
+}
+
+// NewGuardedController wraps primary with fallback under the given
+// configuration (zero-value cfg: DefaultGuardConfig).
+func NewGuardedController(primary, fallback Controller, cfg GuardConfig) (*GuardedController, error) {
+	if primary == nil || fallback == nil {
+		return nil, fmt.Errorf("control: guarded controller needs primary and fallback")
+	}
+	if (cfg == GuardConfig{}) {
+		cfg = DefaultGuardConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GuardedController{Primary: primary, Fallback: fallback, Cfg: cfg}
+	g.Reset()
+	return g, nil
+}
+
+// Name implements Controller ("guarded-ML05").
+func (g *GuardedController) Name() string { return "guarded-" + g.Primary.Name() }
+
+// Reset implements Controller.
+func (g *GuardedController) Reset() {
+	g.Primary.Reset()
+	g.Fallback.Reset()
+	g.lastRaw, g.haveRaw, g.frozenRun = 0, false, 0
+	g.deltas = make([]float64, g.Cfg.SuspectWindow)
+	g.deltaPos, g.deltaN = 0, 0
+	g.lastGood, g.haveGood, g.goodAge = 0, false, 0
+	g.lastFreq, g.haveFreq, g.throttled = 0, false, false
+	g.degraded, g.clean, g.satRun = false, 0, 0
+	g.recent = make([]bool, g.Cfg.SuspectWindow)
+	g.recentPos = 0
+	g.FaultyDecisions, g.DegradedDecisions, g.Decisions = 0, 0, 0
+}
+
+// Degraded reports whether the controller is currently running on its
+// fallback.
+func (g *GuardedController) Degraded() bool { return g.degraded }
+
+// anomalous screens one observation. It also maintains the frozen-sensor
+// run length.
+func (g *GuardedController) anomalous(obs Observation) bool {
+	t := obs.SensorTemp
+	// Frozen detection tracks the raw stream regardless of the verdict.
+	if g.haveRaw && t == g.lastRaw {
+		g.frozenRun++
+	} else {
+		g.frozenRun = 1
+	}
+	// The delta ring feeds the total-variation detector; non-finite
+	// readings are kept out so one NaN cannot poison the window.
+	if g.haveRaw && !math.IsNaN(t) && !math.IsInf(t, 0) &&
+		!math.IsNaN(g.lastRaw) && !math.IsInf(g.lastRaw, 0) {
+		g.deltas[g.deltaPos] = t - g.lastRaw
+		g.deltaPos = (g.deltaPos + 1) % len(g.deltas)
+		if g.deltaN < len(g.deltas) {
+			g.deltaN++
+		}
+	}
+	g.lastRaw, g.haveRaw = t, true
+
+	switch {
+	case math.IsNaN(t) || math.IsInf(t, 0):
+		return true
+	case t < g.Cfg.MinTemp || t > g.Cfg.MaxTemp:
+		return true
+	case g.frozenRun >= g.Cfg.FrozenStreak:
+		return true
+	case g.haveGood && math.Abs(t-g.lastGood) > g.Cfg.MaxStep*float64(g.goodAge+1):
+		return true
+	case g.haveGood && !g.throttled && g.lastGood-t > g.Cfg.MaxCool*float64(g.goodAge+1):
+		// Cooling this fast without a throttle is physically implausible:
+		// the sensor is reading low while the chip keeps (or gains) power.
+		return true
+	case g.dispersed():
+		return true
+	case g.haveFreq && math.Abs(obs.CurrentFreq-g.lastFreq) > power.FrequencyStepGHz/2:
+		// The operating point moved without this controller asking: an
+		// external override or a corrupted frequency report.
+		return true
+	}
+	return countersImplausible(obs.Counters)
+}
+
+// dispersed is the total-variation noise detector: over the recent raw
+// deltas, a genuine thermal trajectory moves mostly in one direction
+// (ramps) or barely at all (plateaus), so its total variation is close
+// to its net drift. Heavy sensor noise moves a lot while drifting
+// little. Readings whose window shows more than 2*MaxStep of total
+// movement with less than a third of it as net drift are anomalous even
+// when every individual delta passes the jump check.
+func (g *GuardedController) dispersed() bool {
+	if g.deltaN < 2 {
+		return false
+	}
+	tv, net := 0.0, 0.0
+	for i := 0; i < g.deltaN; i++ {
+		tv += math.Abs(g.deltas[i])
+		net += g.deltas[i]
+	}
+	// The movement budget scales with how much of the window is filled,
+	// so the detector is live from the third decision of a run instead
+	// of only after a full window (runs at the quick scale have few
+	// decisions to begin with).
+	limit := 2 * g.Cfg.MaxStep * float64(g.deltaN) / float64(len(g.deltas))
+	return tv > limit && tv > 3*math.Abs(net)
+}
+
+// countersImplausible screens the performance counters: a live chip
+// always cycles, every counter is a finite count, busy cycles cannot
+// exceed total cycles, and the committed-instruction rate is bounded by
+// a generous superscalar width. Corruption that rescales individual
+// counters (the realistic PMU failure) usually breaks one of these
+// cross-counter invariants even when every value looks individually
+// plausible.
+func countersImplausible(k arch.Counters) bool {
+	if !(k.TotalCycles > 0) {
+		return true
+	}
+	v := reflect.ValueOf(k)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Float64 {
+			continue
+		}
+		f := v.Field(i).Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return true
+		}
+	}
+	if k.BusyCycles > k.TotalCycles*1.001 {
+		return true
+	}
+	if k.CommittedInstructions > 8*k.TotalCycles {
+		return true
+	}
+	return false
+}
+
+// Decide implements Controller.
+func (g *GuardedController) Decide(obs Observation) float64 {
+	g.Decisions++
+	bad := g.anomalous(obs)
+	if bad {
+		g.FaultyDecisions++
+	}
+	// Dispersion detector: too many anomalies in the recent window keeps
+	// the guard latched even if this reading looks fine.
+	g.recent[g.recentPos] = bad
+	g.recentPos = (g.recentPos + 1) % len(g.recent)
+	windowBad := 0
+	for _, b := range g.recent {
+		if b {
+			windowBad++
+		}
+	}
+	suspicious := bad || windowBad >= g.Cfg.SuspectLimit
+
+	if !bad {
+		g.lastGood, g.haveGood, g.goodAge = obs.SensorTemp, true, 0
+	} else {
+		g.goodAge++
+	}
+
+	if suspicious {
+		g.degraded, g.clean = true, 0
+	} else if g.degraded {
+		g.clean++
+		if g.clean >= g.Cfg.CleanStreak {
+			g.degraded, g.clean = false, 0
+		}
+	}
+
+	// Sanitize the severity proxy: the current reading if trustworthy,
+	// else the last good reading while fresh, else assume the worst.
+	proxy := obs.SensorTemp
+	if bad {
+		if g.haveGood && g.goodAge <= g.Cfg.StaleLimit {
+			proxy = g.lastGood
+		} else {
+			proxy = g.Cfg.MaxTemp
+		}
+	}
+
+	// Watchdog: a saturated severity proxy hard-caps the frequency no
+	// matter which controller is active.
+	if proxy >= g.Cfg.SaturationTemp {
+		g.satRun++
+	} else {
+		g.satRun = 0
+	}
+	if g.satRun >= g.Cfg.SaturationStreak {
+		g.DegradedDecisions++
+		g.throttled = g.haveFreq && g.Cfg.CapFreq < g.lastFreq
+		g.lastFreq, g.haveFreq = g.Cfg.CapFreq, true
+		return g.Cfg.CapFreq
+	}
+
+	var f float64
+	if g.degraded {
+		g.DegradedDecisions++
+		sanitized := obs
+		sanitized.SensorTemp = proxy
+		f = g.Fallback.Decide(sanitized)
+		// Degraded mode never raises the frequency: the sanitized
+		// observation is at best a stale estimate, and climbing on
+		// untrusted telemetry is exactly the failure a lying sensor
+		// induces in an unguarded controller. Holds and throttles only.
+		cur := obs.CurrentFreq
+		if g.haveFreq {
+			cur = g.lastFreq
+		}
+		if f > cur {
+			f = cur
+		}
+	} else {
+		f = g.Primary.Decide(obs)
+	}
+	f = power.ClampFrequency(f)
+	g.throttled = g.haveFreq && f < g.lastFreq
+	g.lastFreq, g.haveFreq = f, true
+	return f
+}
+
+var _ Controller = (*GuardedController)(nil)

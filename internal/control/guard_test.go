@@ -1,0 +1,245 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/arch"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// spyController records every observation it decides on and returns a
+// fixed frequency.
+type spyController struct {
+	name string
+	ret  float64
+	obs  []Observation
+}
+
+func (s *spyController) Name() string { return s.name }
+func (s *spyController) Reset()       { s.obs = nil }
+func (s *spyController) Decide(o Observation) float64 {
+	s.obs = append(s.obs, o)
+	return s.ret
+}
+
+// goodObs builds an observation that passes every guard check.
+func goodObs(temp, freq float64) Observation {
+	return Observation{
+		Counters:    arch.Counters{TotalCycles: 1e5, BusyCycles: 8e4, CommittedInstructions: 9e4},
+		SensorTemp:  temp,
+		CurrentFreq: freq,
+	}
+}
+
+func newGuardPair(t *testing.T) (*GuardedController, *spyController, *spyController) {
+	t.Helper()
+	primary := &spyController{name: "P", ret: 3.75}
+	fallback := &spyController{name: "F", ret: 3.75}
+	g, err := NewGuardedController(primary, fallback, GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, primary, fallback
+}
+
+func TestThermalControllerNonFiniteFailsSafe(t *testing.T) {
+	table := &CriticalTemps{Global: map[float64]float64{3.75: 100, 4.0: 100}}
+	th := NewThermalController(table, 5)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		got := th.Decide(Observation{SensorTemp: bad, CurrentFreq: 3.75})
+		if got != 3.75-power.FrequencyStepGHz {
+			t.Fatalf("TH with sensor %v decided %v, want one-step throttle", bad, got)
+		}
+	}
+	// A cool finite reading still climbs.
+	if got := th.Decide(Observation{SensorTemp: 60, CurrentFreq: 3.75}); got != 4.0 {
+		t.Fatalf("TH with clean cool sensor decided %v, want climb to 4.0", got)
+	}
+}
+
+func TestGuardConfigValidate(t *testing.T) {
+	bad := []func(*GuardConfig){
+		func(c *GuardConfig) { c.MaxTemp = c.MinTemp },
+		func(c *GuardConfig) { c.MaxStep = 0 },
+		func(c *GuardConfig) { c.MaxCool = 0 },
+		func(c *GuardConfig) { c.MaxCool = c.MaxStep + 1 },
+		func(c *GuardConfig) { c.FrozenStreak = 1 },
+		func(c *GuardConfig) { c.SuspectLimit = c.SuspectWindow + 1 },
+		func(c *GuardConfig) { c.CleanStreak = 0 },
+		func(c *GuardConfig) { c.SaturationStreak = 0 },
+		func(c *GuardConfig) { c.CapFreq = 2.1 }, // not a legal step
+	}
+	for i, mutate := range bad {
+		cfg := DefaultGuardConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+	if _, err := NewGuardedController(nil, &spyController{}, GuardConfig{}); err == nil {
+		t.Fatal("nil primary accepted")
+	}
+}
+
+func TestGuardRoutesAnomaliesToFallback(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []Observation // last one must be the anomaly
+	}{
+		{"nan", []Observation{goodObs(math.NaN(), 3.75)}},
+		{"out-of-range-low", []Observation{goodObs(0, 3.75)}},
+		{"out-of-range-high", []Observation{goodObs(200, 3.75)}},
+		{"frozen", []Observation{goodObs(80, 3.75), goodObs(80, 3.75)}},
+		{"jump", []Observation{goodObs(80, 3.75), goodObs(120, 3.75)}},
+		// Falls 8 C in one decision (within MaxStep) while the guard never
+		// lowered the frequency: implausible cooling.
+		{"implausible-cooling", []Observation{goodObs(80, 3.75), goodObs(72, 3.75)}},
+		{"zero-counters", []Observation{{Counters: arch.Counters{}, SensorTemp: 80, CurrentFreq: 3.75}}},
+		{"nan-counters", []Observation{{
+			Counters:   arch.Counters{TotalCycles: 1e5, CommittedInstructions: math.NaN()},
+			SensorTemp: 80, CurrentFreq: 3.75}}},
+	}
+	for _, tc := range cases {
+		g, primary, fallback := newGuardPair(t)
+		for _, o := range tc.obs {
+			g.Decide(o)
+		}
+		if len(fallback.obs) != 1 {
+			t.Errorf("%s: fallback decided %d times, want 1 (primary %d)",
+				tc.name, len(fallback.obs), len(primary.obs))
+		}
+		if !g.Degraded() {
+			t.Errorf("%s: guard not degraded after anomaly", tc.name)
+		}
+		if g.FaultyDecisions != 1 {
+			t.Errorf("%s: FaultyDecisions = %d, want 1", tc.name, g.FaultyDecisions)
+		}
+	}
+}
+
+func TestGuardAllowsCoolingAfterThrottle(t *testing.T) {
+	// The same 8 C fall that is anomalous at steady frequency is expected
+	// right after the controller throttled.
+	g, primary, fallback := newGuardPair(t)
+	g.Decide(goodObs(80, 4.5)) // commands 3.75
+	primary.ret = 3.5
+	g.Decide(goodObs(80.5, 3.75)) // commands 3.5: a throttle
+	g.Decide(goodObs(72, 3.5))    // fast cooling, but we just throttled
+	if len(fallback.obs) != 0 || g.Degraded() || g.FaultyDecisions != 0 {
+		t.Fatalf("cooling after a throttle screened as anomalous (faulty=%d, degraded=%v)",
+			g.FaultyDecisions, g.Degraded())
+	}
+}
+
+func TestGuardDetectsExternalFrequencyOverride(t *testing.T) {
+	g, _, fallback := newGuardPair(t)
+	g.Decide(goodObs(80, 3.75)) // guard returned 3.75
+	// Next observation claims the chip runs at 4.5 GHz: nobody we know
+	// asked for that.
+	g.Decide(goodObs(80.5, 4.5))
+	if len(fallback.obs) != 1 || !g.Degraded() {
+		t.Fatal("frequency override not treated as an anomaly")
+	}
+}
+
+func TestGuardSanitizesAndGoesWorstCaseWhenStale(t *testing.T) {
+	g, _, fallback := newGuardPair(t)
+	g.Decide(goodObs(80, 3.75)) // establishes lastGood = 80
+	// Persistent dropout: sensor reads 0 from now on.
+	temps := []float64{}
+	for i := 0; i < 3; i++ {
+		g.Decide(goodObs(0, 3.75))
+		temps = append(temps, fallback.obs[len(fallback.obs)-1].SensorTemp)
+	}
+	cfg := DefaultGuardConfig()
+	// Fresh outage: substitute the last good reading; stale outage:
+	// assume the worst.
+	if temps[0] != 80 || temps[1] != 80 {
+		t.Fatalf("fresh outage sanitized to %v, want lastGood 80", temps[:2])
+	}
+	if temps[2] != cfg.MaxTemp {
+		t.Fatalf("stale outage sanitized to %v, want MaxTemp %v", temps[2], cfg.MaxTemp)
+	}
+	// One more faulty decision saturates the proxy and trips the
+	// watchdog hard cap.
+	if got := g.Decide(goodObs(0, 3.75)); got != cfg.CapFreq {
+		t.Fatalf("watchdog did not cap: got %v, want %v", got, cfg.CapFreq)
+	}
+}
+
+func TestGuardRepromotesAfterCleanStreak(t *testing.T) {
+	g, primary, fallback := newGuardPair(t)
+	g.Decide(goodObs(80, 3.75)) // clean -> primary
+	g.Decide(goodObs(80, 3.75)) // frozen -> fallback
+	temps := []float64{80.5, 81, 81.5, 82, 82.5}
+	for _, temp := range temps {
+		g.Decide(goodObs(temp, 3.75))
+	}
+	// Decisions: 1 primary, then the frozen anomaly plus CleanStreak-1
+	// probation decisions on the fallback, then the primary again.
+	cfg := DefaultGuardConfig()
+	wantFallback := cfg.CleanStreak
+	if len(fallback.obs) != wantFallback {
+		t.Fatalf("fallback decided %d times, want %d", len(fallback.obs), wantFallback)
+	}
+	if len(primary.obs) != 2+len(temps)-wantFallback {
+		t.Fatalf("primary decided %d times", len(primary.obs))
+	}
+	if g.Degraded() {
+		t.Fatal("guard still degraded after a clean streak")
+	}
+}
+
+func TestGuardWatchdogOverridesHealthyPrimary(t *testing.T) {
+	g, primary, _ := newGuardPair(t)
+	primary.ret = 4.75 // a primary that wants to keep climbing
+	cfg := DefaultGuardConfig()
+	g.Decide(goodObs(cfg.SaturationTemp+2, 3.75))
+	got := g.Decide(goodObs(cfg.SaturationTemp+3, 4.75))
+	if got != cfg.CapFreq {
+		t.Fatalf("saturated proxy decided %v, want hard cap %v", got, cfg.CapFreq)
+	}
+	if g.DegradedDecisions == 0 {
+		t.Fatal("watchdog cap not counted as a degraded decision")
+	}
+}
+
+func TestGuardLoopRunsCleanlyWhenHealthy(t *testing.T) {
+	// A guarded controller over clean telemetry in the real closed loop
+	// must behave exactly like its primary.
+	table := &CriticalTemps{Global: map[float64]float64{}}
+	for _, f := range power.FrequencySteps() {
+		table.Global[f] = 95
+	}
+	mkTH := func() *ThermalController { return NewThermalController(table, 0) }
+	p := fastSim(t)
+	w, err := workload.ByName("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 48
+
+	plain, err := RunLoop(p, w, mkTH(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuardedController(mkTH(), mkTH(), GuardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := RunLoop(p, w, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FaultyDecisions != 0 {
+		t.Fatalf("clean telemetry produced %d faulty decisions", g.FaultyDecisions)
+	}
+	for i := range plain.Freqs {
+		if plain.Freqs[i] != guarded.Freqs[i] {
+			t.Fatalf("step %d: guarded %v != plain %v", i, guarded.Freqs[i], plain.Freqs[i])
+		}
+	}
+}

@@ -115,9 +115,15 @@ func (c *ThermalController) Reset() {}
 
 // Decide implements Controller: throttle if the sensor is at or above the
 // current frequency's (relaxed) threshold, otherwise climb if the sensor
-// is comfortably below the next frequency's threshold.
+// is comfortably below the next frequency's threshold. A non-finite
+// sensor reading (NaN, +/-Inf) fails safe: with NaN every comparison is
+// false and the controller would silently hold (and -Inf would command a
+// climb), so an unreadable sensor throttles one step instead.
 func (c *ThermalController) Decide(obs Observation) float64 {
 	cur := obs.CurrentFreq
+	if math.IsNaN(obs.SensorTemp) || math.IsInf(obs.SensorTemp, 0) {
+		return cur - power.FrequencyStepGHz
+	}
 	if obs.SensorTemp >= c.Table.GlobalAt(cur)+c.Relax-c.Margin {
 		return cur - power.FrequencyStepGHz
 	}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/hotgauge/boreas/internal/arch"
@@ -148,10 +149,16 @@ func (c *Controller) Name() string { return fmt.Sprintf("ML%02.0f", c.Guardband*
 // Reset implements control.Controller.
 func (c *Controller) Reset() {}
 
-// Decide implements control.Controller.
+// Decide implements control.Controller. A non-finite sensor reading
+// fails safe with a one-step throttle: NaN routes through every tree
+// comparison as "false" and would otherwise silently produce an
+// arbitrary (usually optimistic) severity estimate.
 func (c *Controller) Decide(obs control.Observation) float64 {
 	threshold := 1.0 - c.Guardband
 	cur := obs.CurrentFreq
+	if math.IsNaN(obs.SensorTemp) || math.IsInf(obs.SensorTemp, 0) {
+		return cur - power.FrequencyStepGHz
+	}
 	if c.Pred.Predict(obs.Counters, obs.SensorTemp) >= threshold {
 		return cur - power.FrequencyStepGHz
 	}

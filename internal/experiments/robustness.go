@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/faults"
+	"github.com/hotgauge/boreas/internal/runner"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// ControllerFactory names a controller construction recipe. The fault
+// grid builds a fresh controller for every run instead of sharing one
+// instance across the pool: a GuardedController carries per-run state
+// (fault streaks, degradation latches), so sharing would both race and
+// leak one run's degradation into another.
+type ControllerFactory struct {
+	Name string
+	New  func() (control.Controller, error)
+}
+
+// FaultGridConfig scales the robustness campaign. The zero value runs
+// the paper-style default: every fault class at two intensities over the
+// test workloads, comparing TH-05, unguarded ML05 and guarded ML05.
+type FaultGridConfig struct {
+	// Workloads under test (default: the lab's test set).
+	Workloads []string
+	// Classes of fault injected (default: all of them).
+	Classes []faults.Class
+	// Intensities in [0, 1] (default: 0.25 and 0.75).
+	Intensities []float64
+	// FaultStart is the run step at which the fault window opens
+	// (default 0: faulty from the first step).
+	FaultStart int
+	// Seed drives the fault streams (default: the lab's sim seed).
+	Seed uint64
+	// Workers overrides the lab's worker pool for this grid only
+	// (0: use the lab's setting).
+	Workers int
+	// Controllers compared (default: DefaultFaultControllers).
+	Controllers []ControllerFactory
+}
+
+// DefaultFaultControllers is the paper-style robustness comparison:
+// the TH-05 baseline, the unguarded Boreas ML05 controller, and ML05
+// wrapped in the guarded fallback (degrading to TH-05).
+func DefaultFaultControllers(l *Lab) []ControllerFactory {
+	return []ControllerFactory{
+		{Name: "TH-05", New: func() (control.Controller, error) {
+			return l.THRelaxed(5)
+		}},
+		{Name: "ML05", New: func() (control.Controller, error) {
+			return l.MLController(0.05)
+		}},
+		{Name: "guarded-ML05", New: func() (control.Controller, error) {
+			ml, err := l.MLController(0.05)
+			if err != nil {
+				return nil, err
+			}
+			th, err := l.THRelaxed(5)
+			if err != nil {
+				return nil, err
+			}
+			return control.NewGuardedController(ml, th, control.GuardConfig{})
+		}},
+	}
+}
+
+// FaultCell aggregates one (scenario, controller) pair over all grid
+// workloads.
+type FaultCell struct {
+	Scenario   string
+	Class      faults.Class
+	Intensity  float64
+	Controller string
+	// PeakSeverity and PeakMLTD are maxima over the workloads;
+	// MeanAvgFreq is the mean of per-run average frequencies;
+	// Incursions sums over the workloads.
+	PeakSeverity float64
+	PeakMLTD     float64
+	MeanAvgFreq  float64
+	Incursions   int
+	// FaultyDecisions and DegradedDecisions sum the guard telemetry over
+	// the workloads; both stay 0 for unguarded controllers.
+	FaultyDecisions   int
+	DegradedDecisions int
+}
+
+// FaultGridResult is the robustness campaign output: one cell per
+// (scenario, controller), scenario-major in canonical grid order. The
+// first scenario is always the clean baseline ("none").
+type FaultGridResult struct {
+	Workloads   []string
+	Controllers []string
+	Scenarios   []string
+	Cells       []FaultCell
+}
+
+// Cell returns the aggregate for a (scenario, controller) pair, or nil.
+func (r *FaultGridResult) Cell(scenario, controller string) *FaultCell {
+	for i := range r.Cells {
+		if r.Cells[i].Scenario == scenario && r.Cells[i].Controller == controller {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// faultRun is one closed-loop run plus the guard telemetry pulled from
+// the controller instance that produced it.
+type faultRun struct {
+	res              *control.LoopResult
+	faulty, degraded int
+}
+
+// FaultGrid evaluates every (scenario, controller, workload) cell of the
+// robustness campaign on the worker pool and aggregates per (scenario,
+// controller). Fault streams are seeded per scenario and evaluated per
+// step, and results assemble in canonical order, so the report is
+// byte-identical at any worker count.
+func FaultGrid(l *Lab, fc FaultGridConfig) (*FaultGridResult, error) {
+	if len(fc.Workloads) == 0 {
+		fc.Workloads = l.cfg.TestNames
+	}
+	if len(fc.Classes) == 0 {
+		fc.Classes = faults.Classes()
+	}
+	if len(fc.Intensities) == 0 {
+		fc.Intensities = []float64{0.25, 0.75}
+	}
+	if fc.Seed == 0 {
+		fc.Seed = runner.DeriveSeed(l.cfg.Sim.Seed, runner.HashString("faults"))
+	}
+	if fc.Workers == 0 {
+		fc.Workers = l.cfg.Workers
+	}
+	if len(fc.Controllers) == 0 {
+		fc.Controllers = DefaultFaultControllers(l)
+	}
+	// Build each controller once up front: this materialises the shared
+	// lab artefacts (threshold table, trained predictor) before the
+	// fan-out instead of inside the first worker that needs them.
+	for _, f := range fc.Controllers {
+		if _, err := f.New(); err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", f.Name, err)
+		}
+	}
+
+	scenarios := append([]faults.Scenario{{Class: faults.None, Sensor: -1}},
+		faults.Grid(fc.Seed, fc.Classes, fc.Intensities, fc.FaultStart)...)
+
+	nw, nc := len(fc.Workloads), len(fc.Controllers)
+	total := len(scenarios) * nc * nw
+	runs, err := runner.Map(l.ctx, fc.Workers, total, func(_ context.Context, i int) (faultRun, error) {
+		sc := scenarios[i/(nc*nw)]
+		factory := fc.Controllers[(i/nw)%nc]
+		name := fc.Workloads[i%nw]
+
+		ctrl, err := factory.New()
+		if err != nil {
+			return faultRun{}, err
+		}
+		w, err := workload.ByName(name)
+		if err != nil {
+			return faultRun{}, err
+		}
+		p, err := l.pipeline.Clone()
+		if err != nil {
+			return faultRun{}, err
+		}
+		lc := l.loopConfig()
+		stap, ktap, err := faults.Taps(sc)
+		if err != nil {
+			return faultRun{}, err
+		}
+		if stap != nil {
+			lc.SensorTap = stap
+		}
+		if ktap != nil {
+			lc.CounterTap = ktap
+		}
+		res, err := control.RunLoop(p, w, ctrl, lc)
+		if err != nil {
+			return faultRun{}, err
+		}
+		fr := faultRun{res: res}
+		if g, ok := ctrl.(*control.GuardedController); ok {
+			fr.faulty, fr.degraded = g.FaultyDecisions, g.DegradedDecisions
+		}
+		return fr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FaultGridResult{Workloads: fc.Workloads}
+	for _, f := range fc.Controllers {
+		out.Controllers = append(out.Controllers, f.Name)
+	}
+	for _, sc := range scenarios {
+		out.Scenarios = append(out.Scenarios, sc.Name())
+	}
+	for si, sc := range scenarios {
+		for ci, f := range fc.Controllers {
+			cell := FaultCell{
+				Scenario:   sc.Name(),
+				Class:      sc.Class,
+				Intensity:  sc.Intensity,
+				Controller: f.Name,
+			}
+			for wi := range fc.Workloads {
+				fr := runs[si*nc*nw+ci*nw+wi]
+				if fr.res.PeakSeverity > cell.PeakSeverity {
+					cell.PeakSeverity = fr.res.PeakSeverity
+				}
+				if fr.res.PeakMLTD > cell.PeakMLTD {
+					cell.PeakMLTD = fr.res.PeakMLTD
+				}
+				cell.MeanAvgFreq += fr.res.AvgFreq
+				cell.Incursions += fr.res.Incursions
+				cell.FaultyDecisions += fr.faulty
+				cell.DegradedDecisions += fr.degraded
+			}
+			cell.MeanAvgFreq /= float64(nw)
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// Render formats the robustness grid.
+func (r *FaultGridResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness: controllers under injected telemetry faults (%s)\n",
+		strings.Join(r.Workloads, ", "))
+	fmt.Fprintf(&b, "  %-20s %-14s %8s %8s %8s %6s %7s %9s\n",
+		"scenario", "controller", "peakSev", "peakMLTD", "avgGHz", "incur", "faulty", "degraded")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %-20s %-14s %8.3f %8.3f %8.3f %6d %7d %9d\n",
+			c.Scenario, c.Controller, c.PeakSeverity, c.PeakMLTD, c.MeanAvgFreq,
+			c.Incursions, c.FaultyDecisions, c.DegradedDecisions)
+	}
+	if ref := r.Cell(string(faults.None), r.Controllers[0]); ref != nil {
+		fmt.Fprintf(&b, "  clean %s peak severity %.3f is the safety reference\n",
+			ref.Controller, ref.PeakSeverity)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/faults"
+)
+
+// TestFaultGridGuardedSafety is the robustness acceptance bar. For every
+// fault scenario the guarded controller's peak severity must stay within
+// 5% of the worst legitimate reference — the clean TH-05 run, the TH-05
+// run under the same fault, or the clean unguarded ML05 run (the guard
+// is transparent when healthy, so it can never beat its own primary's
+// clean envelope). Meanwhile the unguarded ML controller must
+// demonstrably blow past that bound in at least one scenario, proving
+// the grid stresses the controller at all.
+func TestFaultGridGuardedSafety(t *testing.T) {
+	l := lab(t)
+	res, err := FaultGrid(l, FaultGridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTH := res.Cell(string(faults.None), "TH-05")
+	refML := res.Cell(string(faults.None), "ML05")
+	if refTH == nil || refML == nil {
+		t.Fatal("missing clean reference cells")
+	}
+	exceeded := false
+	for _, name := range res.Scenarios {
+		if name == string(faults.None) {
+			continue
+		}
+		g := res.Cell(name, "guarded-ML05")
+		th := res.Cell(name, "TH-05")
+		if g == nil || th == nil {
+			t.Fatalf("missing cells for %s", name)
+		}
+		ref := refTH.PeakSeverity
+		if th.PeakSeverity > ref {
+			ref = th.PeakSeverity
+		}
+		if refML.PeakSeverity > ref {
+			ref = refML.PeakSeverity
+		}
+		bound := ref * 1.05
+		if g.PeakSeverity > bound {
+			t.Errorf("%s: guarded peak severity %.3f exceeds %.3f (worst reference %.3f +5%%)",
+				name, g.PeakSeverity, bound, ref)
+		}
+		if ml := res.Cell(name, "ML05"); ml.PeakSeverity > bound {
+			exceeded = true
+		}
+	}
+	if !exceeded {
+		t.Error("unguarded ML05 never exceeded the safety bound: the grid is not stressing the controller")
+	}
+	// The guard must actually have engaged somewhere: a grid where no
+	// decision was ever screened as faulty means the injectors are not
+	// wired through the loop.
+	engaged := 0
+	for _, c := range res.Cells {
+		if c.Controller == "guarded-ML05" && c.Scenario != string(faults.None) {
+			engaged += c.FaultyDecisions
+		}
+	}
+	if engaged == 0 {
+		t.Error("guarded controller never flagged a faulty decision under injected faults")
+	}
+	// The clean run must not trip the guard, and a transparent guard
+	// reproduces its primary's clean envelope exactly.
+	clean := res.Cell(string(faults.None), "guarded-ML05")
+	if clean.FaultyDecisions != 0 {
+		t.Errorf("guard flagged %d faulty decisions on clean telemetry", clean.FaultyDecisions)
+	}
+	if clean.PeakSeverity != refML.PeakSeverity {
+		t.Errorf("clean guarded peak %.3f != clean ML05 peak %.3f: guard not transparent",
+			clean.PeakSeverity, refML.PeakSeverity)
+	}
+}
+
+// TestFaultGridDeterministicAcrossWorkers pins the acceptance guarantee
+// that the robustness report is byte-identical at any parallelism. It
+// runs on cheap TH-based controllers so the check does not depend on the
+// trained predictor.
+func TestFaultGridDeterministicAcrossWorkers(t *testing.T) {
+	l := lab(t)
+	mkFactories := func() []ControllerFactory {
+		return []ControllerFactory{
+			{Name: "TH-05", New: func() (control.Controller, error) {
+				return l.THRelaxed(5)
+			}},
+			{Name: "guarded-TH-05", New: func() (control.Controller, error) {
+				th, err := l.THRelaxed(5)
+				if err != nil {
+					return nil, err
+				}
+				fb, err := l.THRelaxed(0)
+				if err != nil {
+					return nil, err
+				}
+				return control.NewGuardedController(th, fb, control.GuardConfig{})
+			}},
+		}
+	}
+	base := FaultGridConfig{
+		Workloads:   []string{"gamess", "hmmer"},
+		Classes:     []faults.Class{faults.SensorNoise, faults.SensorDropout, faults.CounterCorrupt},
+		Intensities: []float64{0.5},
+		Controllers: mkFactories(),
+	}
+	renders := map[int]string{}
+	for _, workers := range []int{1, 8} {
+		fc := base
+		fc.Workers = workers
+		fc.Controllers = mkFactories()
+		res, err := FaultGrid(l, fc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		renders[workers] = res.Render()
+	}
+	if renders[1] != renders[8] {
+		t.Fatalf("fault grid differs across worker counts:\n--- workers=1\n%s--- workers=8\n%s",
+			renders[1], renders[8])
+	}
+}
+
+func TestFaultGridUnknownWorkload(t *testing.T) {
+	l := lab(t)
+	_, err := FaultGrid(l, FaultGridConfig{
+		Workloads:   []string{"not-a-workload"},
+		Classes:     []faults.Class{faults.SensorStuck},
+		Intensities: []float64{0.5},
+		Controllers: []ControllerFactory{{Name: "TH-05", New: func() (control.Controller, error) {
+			return l.THRelaxed(5)
+		}}},
+	})
+	if err == nil {
+		t.Fatal("expected unknown-workload error")
+	}
+}

@@ -1,0 +1,340 @@
+// Package faults implements deterministic, seed-derived fault models for
+// the closed-loop evaluation: corruptions of the delayed thermal-sensor
+// readings (stuck-at, dropout, spike, additive noise, extra latency
+// jitter, quantization) and of the performance counters a controller
+// observes (zeroing, per-counter corruption).
+//
+// The Boreas paper studies sensor delay and placement sensitivity but
+// assumes every observation is otherwise clean; this package lets any
+// controller be evaluated under degraded telemetry. Fault streams are a
+// pure function of (Scenario.Seed, timestep): every per-step decision
+// draws from an rng.Source derived via runner.DeriveSeed from the
+// scenario seed and the step index, so a fault trace is bit-identical
+// across runs, worker counts and call sites.
+//
+// SensorInjector satisfies sim.SensorTap and corrupts what the pipeline
+// surfaces as the delayed sensor vector (the recorded trace and the
+// controller both see the corruption; ground truth is untouched).
+// CounterInjector satisfies control.CounterTap and corrupts the counter
+// vector handed to the controller at each decision point.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"github.com/hotgauge/boreas/internal/arch"
+	"github.com/hotgauge/boreas/internal/rng"
+	"github.com/hotgauge/boreas/internal/runner"
+)
+
+// Class names one fault model.
+type Class string
+
+// The supported fault classes. Sensor* classes corrupt the delayed
+// thermal-sensor readings; Counter* classes corrupt the performance
+// counters observed at decision points.
+const (
+	// None injects nothing (the clean-baseline row of a robustness grid).
+	None Class = "none"
+	// SensorStuck freezes the reading at the value it had when the fault
+	// window opened (a latched sample-and-hold failure).
+	SensorStuck Class = "sensor-stuck"
+	// SensorDropout replaces readings with 0 C (a dead or disconnected
+	// sensor returning its power-on value).
+	SensorDropout Class = "sensor-dropout"
+	// SensorSpike adds large bipolar transients to isolated readings
+	// (supply glitches, single-event upsets in the read-out chain).
+	SensorSpike Class = "sensor-spike"
+	// SensorNoise adds zero-mean Gaussian noise to every reading.
+	SensorNoise Class = "sensor-noise"
+	// SensorJitter delivers stale readings: each step the reading is
+	// replaced by one from up to several timesteps earlier (read-out
+	// arbitration jitter on top of the base sensor delay).
+	SensorJitter Class = "sensor-jitter"
+	// SensorQuantize rounds readings to a coarse quantization step (a
+	// mis-configured ADC resolution).
+	SensorQuantize Class = "sensor-quantize"
+	// CounterZero zeroes the whole counter vector (a powered-down or
+	// mis-mapped PMU).
+	CounterZero Class = "counter-zero"
+	// CounterCorrupt rescales a random subset of counters each decision
+	// and occasionally poisons one with NaN (bus corruption, overflow).
+	CounterCorrupt Class = "counter-corrupt"
+)
+
+// Classes returns every injectable fault class (None excluded) in the
+// canonical report order.
+func Classes() []Class {
+	return []Class{
+		SensorStuck, SensorDropout, SensorSpike, SensorNoise,
+		SensorJitter, SensorQuantize, CounterZero, CounterCorrupt,
+	}
+}
+
+// IsSensorClass reports whether c corrupts sensor readings.
+func IsSensorClass(c Class) bool {
+	switch c {
+	case SensorStuck, SensorDropout, SensorSpike, SensorNoise, SensorJitter, SensorQuantize:
+		return true
+	}
+	return false
+}
+
+// IsCounterClass reports whether c corrupts performance counters.
+func IsCounterClass(c Class) bool {
+	return c == CounterZero || c == CounterCorrupt
+}
+
+// Scenario describes one fault-injection experiment.
+type Scenario struct {
+	// Class selects the fault model.
+	Class Class
+	// Intensity in [0, 1] scales the class's magnitude knob: noise sigma,
+	// spike amplitude and rate, dropout probability, jitter depth,
+	// quantization step, corruption probability. 0 is the mildest
+	// non-trivial setting of the class, 1 the harshest.
+	Intensity float64
+	// Start is the first faulty timestep (0-based since the tap was
+	// installed / last reset).
+	Start int
+	// Duration is the length of the fault window in timesteps; zero or
+	// negative means the fault persists to the end of the run.
+	Duration int
+	// Sensor selects the corrupted sensor index; negative corrupts every
+	// sensor. Ignored by counter classes.
+	Sensor int
+	// Seed drives the scenario's stochastic decisions. Derive it from the
+	// campaign seed and the scenario coordinates (runner.DeriveSeed) so
+	// grids stay deterministic at any parallelism.
+	Seed uint64
+}
+
+// Validate reports scenario errors.
+func (s Scenario) Validate() error {
+	if s.Class != None && !IsSensorClass(s.Class) && !IsCounterClass(s.Class) {
+		return fmt.Errorf("faults: unknown class %q", s.Class)
+	}
+	if s.Intensity < 0 || s.Intensity > 1 || math.IsNaN(s.Intensity) {
+		return fmt.Errorf("faults: intensity %g outside [0,1]", s.Intensity)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("faults: negative start step %d", s.Start)
+	}
+	return nil
+}
+
+// Name renders the scenario for reports: "sensor-noise@0.40".
+func (s Scenario) Name() string {
+	if s.Class == None {
+		return string(None)
+	}
+	return fmt.Sprintf("%s@%.2f", s.Class, s.Intensity)
+}
+
+// active reports whether step lies inside the fault window.
+func (s Scenario) active(step int) bool {
+	if s.Class == None || step < s.Start {
+		return false
+	}
+	return s.Duration <= 0 || step < s.Start+s.Duration
+}
+
+// stepSource derives the per-step random stream: a pure function of
+// (Seed, step), independent of execution order.
+func (s Scenario) stepSource(step int) *rng.Source {
+	return rng.New(runner.DeriveSeed(s.Seed, uint64(step)))
+}
+
+// SensorInjector corrupts delayed sensor readings according to a
+// scenario. It implements sim.SensorTap. Injectors are stateful (stuck
+// capture, jitter history); use a fresh injector per run, or Reset it.
+type SensorInjector struct {
+	sc Scenario
+
+	frozen  []float64   // stuck-at capture, nil until the window opens
+	history [][]float64 // jitter: recent pre-corruption readings
+	depth   int         // jitter: maximum extra delay in steps
+}
+
+// NewSensor builds the sensor-side injector for a scenario. The class
+// must be a sensor class (or None, yielding a no-op tap).
+func NewSensor(sc Scenario) (*SensorInjector, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Class != None && !IsSensorClass(sc.Class) {
+		return nil, fmt.Errorf("faults: %q is not a sensor fault class", sc.Class)
+	}
+	inj := &SensorInjector{sc: sc, depth: 1 + int(math.Round(7*sc.Intensity))}
+	inj.Reset()
+	return inj, nil
+}
+
+// Scenario returns the injector's scenario.
+func (inj *SensorInjector) Scenario() Scenario { return inj.sc }
+
+// Reset implements sim.SensorTap.
+func (inj *SensorInjector) Reset() {
+	inj.frozen = nil
+	inj.history = inj.history[:0]
+}
+
+// Apply implements sim.SensorTap: it may mutate the delayed readings of
+// the given timestep in place.
+func (inj *SensorInjector) Apply(step int, delayed []float64) {
+	if inj.sc.Class == SensorJitter {
+		// Record the clean reading before any corruption so jittered
+		// output replays true (if stale) history.
+		snap := append([]float64(nil), delayed...)
+		inj.history = append(inj.history, snap)
+		if len(inj.history) > inj.depth+1 {
+			inj.history = inj.history[1:]
+		}
+	}
+	if !inj.sc.active(step) {
+		inj.frozen = nil
+		return
+	}
+	src := inj.sc.stepSource(step)
+	for i := range delayed {
+		if inj.sc.Sensor >= 0 && i != inj.sc.Sensor {
+			continue
+		}
+		delayed[i] = inj.corrupt(src, delayed, i)
+	}
+}
+
+// corrupt produces the faulty value for sensor i at the current step.
+func (inj *SensorInjector) corrupt(src *rng.Source, delayed []float64, i int) float64 {
+	v := delayed[i]
+	switch inj.sc.Class {
+	case SensorStuck:
+		if inj.frozen == nil {
+			inj.frozen = append([]float64(nil), delayed...)
+		}
+		return inj.frozen[i]
+	case SensorDropout:
+		if src.Bernoulli(0.3 + 0.7*inj.sc.Intensity) {
+			return 0
+		}
+		return v
+	case SensorSpike:
+		if src.Bernoulli(0.15 + 0.35*inj.sc.Intensity) {
+			amp := 15 + 60*inj.sc.Intensity
+			if src.Bernoulli(0.5) {
+				return v - amp
+			}
+			return v + amp
+		}
+		return v
+	case SensorNoise:
+		return v + src.Norm(0, 3+12*inj.sc.Intensity)
+	case SensorJitter:
+		d := src.Intn(inj.depth + 1)
+		if d >= len(inj.history) {
+			d = len(inj.history) - 1
+		}
+		if d < 0 {
+			return v
+		}
+		return inj.history[len(inj.history)-1-d][i]
+	case SensorQuantize:
+		q := 1 + 7*inj.sc.Intensity
+		return math.Floor(v/q) * q
+	}
+	return v
+}
+
+// CounterInjector corrupts the counter vector a controller observes at a
+// decision point. It implements control.CounterTap.
+type CounterInjector struct {
+	sc Scenario
+}
+
+// NewCounter builds the counter-side injector for a scenario. The class
+// must be a counter class (or None, yielding a no-op tap).
+func NewCounter(sc Scenario) (*CounterInjector, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Class != None && !IsCounterClass(sc.Class) {
+		return nil, fmt.Errorf("faults: %q is not a counter fault class", sc.Class)
+	}
+	return &CounterInjector{sc: sc}, nil
+}
+
+// Scenario returns the injector's scenario.
+func (inj *CounterInjector) Scenario() Scenario { return inj.sc }
+
+// Reset implements control.CounterTap.
+func (inj *CounterInjector) Reset() {}
+
+// Apply implements control.CounterTap: it may mutate the counters
+// observed at the given timestep. All arch.Counters fields are float64,
+// so the corruption walks the struct reflectively in declaration order
+// (stable, hence deterministic).
+func (inj *CounterInjector) Apply(step int, k *arch.Counters) {
+	if !inj.sc.active(step) {
+		return
+	}
+	fields := reflect.ValueOf(k).Elem()
+	switch inj.sc.Class {
+	case CounterZero:
+		for f := 0; f < fields.NumField(); f++ {
+			fields.Field(f).SetFloat(0)
+		}
+	case CounterCorrupt:
+		src := inj.sc.stepSource(step)
+		p := 0.1 + 0.4*inj.sc.Intensity
+		for f := 0; f < fields.NumField(); f++ {
+			if !src.Bernoulli(p) {
+				continue
+			}
+			if src.Bernoulli(0.1 * inj.sc.Intensity) {
+				fields.Field(f).SetFloat(math.NaN())
+				continue
+			}
+			fields.Field(f).SetFloat(fields.Field(f).Float() * 16 * src.Float64())
+		}
+	}
+}
+
+// Taps builds the (sensor, counter) injector pair for a scenario: the
+// slot matching the scenario's class is populated, the other is nil, and
+// a None scenario yields two nils. This is the convenience the
+// experiment grid uses to wire any class into control.LoopConfig.
+func Taps(sc Scenario) (*SensorInjector, *CounterInjector, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case IsSensorClass(sc.Class):
+		s, err := NewSensor(sc)
+		return s, nil, err
+	case IsCounterClass(sc.Class):
+		c, err := NewCounter(sc)
+		return nil, c, err
+	}
+	return nil, nil, nil
+}
+
+// Grid enumerates class x intensity scenarios with per-scenario seeds
+// derived from base, in canonical (class, intensity) order. The fault
+// window opens at start and persists to the end of the run.
+func Grid(base uint64, classes []Class, intensities []float64, start int) []Scenario {
+	out := make([]Scenario, 0, len(classes)*len(intensities))
+	for _, c := range classes {
+		for _, in := range intensities {
+			out = append(out, Scenario{
+				Class:     c,
+				Intensity: in,
+				Start:     start,
+				Sensor:    -1,
+				Seed:      runner.DeriveSeed(base, runner.HashString(string(c)), math.Float64bits(in)),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/arch"
+)
+
+// ramp produces a deterministic clean reading for step s, sensor i.
+func ramp(step, i int) float64 { return 50 + float64(step)*0.5 + float64(i) }
+
+// replay runs an injector over steps fresh readings and returns the
+// corrupted trace [step][sensor].
+func replay(t *testing.T, inj *SensorInjector, steps, sensors int) [][]float64 {
+	t.Helper()
+	out := make([][]float64, steps)
+	for s := 0; s < steps; s++ {
+		row := make([]float64, sensors)
+		for i := range row {
+			row[i] = ramp(s, i)
+		}
+		inj.Apply(s, row)
+		out[s] = row
+	}
+	return out
+}
+
+func scenario(c Class, intensity float64) Scenario {
+	return Scenario{Class: c, Intensity: intensity, Start: 4, Sensor: -1, Seed: 7}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []Scenario{
+		{Class: "bogus"},
+		{Class: SensorNoise, Intensity: -0.1},
+		{Class: SensorNoise, Intensity: 1.5},
+		{Class: SensorNoise, Intensity: math.NaN()},
+		{Class: SensorNoise, Start: -1},
+	}
+	for _, sc := range cases {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("scenario %+v validated", sc)
+		}
+	}
+	if err := (Scenario{Class: None}).Validate(); err != nil {
+		t.Fatalf("None scenario rejected: %v", err)
+	}
+}
+
+func TestClassKindsPartition(t *testing.T) {
+	for _, c := range Classes() {
+		if IsSensorClass(c) == IsCounterClass(c) {
+			t.Errorf("class %s is not exactly one of sensor/counter", c)
+		}
+	}
+	if _, err := NewSensor(scenario(CounterZero, 0.5)); err == nil {
+		t.Fatal("NewSensor accepted a counter class")
+	}
+	if _, err := NewCounter(scenario(SensorNoise, 0.5)); err == nil {
+		t.Fatal("NewCounter accepted a sensor class")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	for _, c := range Classes() {
+		if !IsSensorClass(c) {
+			continue
+		}
+		a, err := NewSensor(scenario(c, 0.7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSensor(scenario(c, 0.7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta := replay(t, a, 40, 3)
+		tb := replay(t, b, 40, 3)
+		if !reflect.DeepEqual(ta, tb) {
+			t.Errorf("%s: two injectors with the same scenario disagree", c)
+		}
+		// And a reset injector replays itself bit-identically.
+		a.Reset()
+		tc := replay(t, a, 40, 3)
+		if !reflect.DeepEqual(ta, tc) {
+			t.Errorf("%s: reset injector does not replay its own trace", c)
+		}
+	}
+}
+
+func TestWindowBoundsCorruption(t *testing.T) {
+	sc := scenario(SensorDropout, 1)
+	sc.Duration = 6
+	inj, err := NewSensor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := replay(t, inj, 20, 2)
+	for s := 0; s < 20; s++ {
+		inside := s >= sc.Start && s < sc.Start+sc.Duration
+		for i := 0; i < 2; i++ {
+			clean := trace[s][i] == ramp(s, i)
+			if !inside && !clean {
+				t.Fatalf("step %d outside window corrupted: %v", s, trace[s][i])
+			}
+			if inside && clean {
+				t.Fatalf("step %d inside window untouched (dropout@1 must fire)", s)
+			}
+		}
+	}
+}
+
+func TestStuckFreezesAtOnset(t *testing.T) {
+	inj, err := NewSensor(scenario(SensorStuck, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := replay(t, inj, 12, 2)
+	for s := 4; s < 12; s++ {
+		for i := 0; i < 2; i++ {
+			if trace[s][i] != ramp(4, i) {
+				t.Fatalf("step %d sensor %d = %v, want frozen %v", s, i, trace[s][i], ramp(4, i))
+			}
+		}
+	}
+}
+
+func TestSingleSensorTargeting(t *testing.T) {
+	sc := scenario(SensorDropout, 1)
+	sc.Sensor = 1
+	inj, err := NewSensor(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := replay(t, inj, 10, 3)
+	for s := 4; s < 10; s++ {
+		if trace[s][0] != ramp(s, 0) || trace[s][2] != ramp(s, 2) {
+			t.Fatalf("step %d: untargeted sensors corrupted", s)
+		}
+		if trace[s][1] != 0 {
+			t.Fatalf("step %d: targeted sensor not dropped", s)
+		}
+	}
+}
+
+func TestJitterReplaysHistory(t *testing.T) {
+	inj, err := NewSensor(scenario(SensorJitter, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := replay(t, inj, 30, 1)
+	sawStale := false
+	for s := 4; s < 30; s++ {
+		got := trace[s][0]
+		// Every jittered value must be some recent clean reading.
+		ok := false
+		for d := 0; d <= inj.depth && d <= s; d++ {
+			if got == ramp(s-d, 0) {
+				if d > 0 {
+					sawStale = true
+				}
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("step %d: jittered value %v is not a recent clean reading", s, got)
+		}
+	}
+	if !sawStale {
+		t.Fatal("jitter@1 never delivered a stale reading")
+	}
+}
+
+func TestQuantizeRoundsDown(t *testing.T) {
+	inj, err := NewSensor(scenario(SensorQuantize, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := replay(t, inj, 12, 1)
+	q := 8.0
+	for s := 4; s < 12; s++ {
+		want := math.Floor(ramp(s, 0)/q) * q
+		if trace[s][0] != want {
+			t.Fatalf("step %d quantized to %v, want %v", s, trace[s][0], want)
+		}
+	}
+}
+
+func TestNoiseIsZeroMeanAndBounded(t *testing.T) {
+	inj, err := NewSensor(scenario(SensorNoise, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := replay(t, inj, 400, 1)
+	sum, n := 0.0, 0
+	for s := 4; s < 400; s++ {
+		d := trace[s][0] - ramp(s, 0)
+		sum += d
+		n++
+		if math.Abs(d) > 60 {
+			t.Fatalf("noise excursion %v implausible for sigma 9", d)
+		}
+	}
+	if mean := sum / float64(n); math.Abs(mean) > 2 {
+		t.Fatalf("noise mean %v not near zero", mean)
+	}
+}
+
+func TestCounterZeroAndCorrupt(t *testing.T) {
+	mk := func() arch.Counters {
+		return arch.Counters{FrequencyGHz: 4, Voltage: 1, TotalCycles: 1e5, CommittedInstructions: 8e4, ALUDutyCycle: 0.5}
+	}
+	zero, err := NewCounter(scenario(CounterZero, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mk()
+	zero.Apply(10, &k)
+	if k != (arch.Counters{}) {
+		t.Fatalf("counter-zero left fields set: %+v", k)
+	}
+	k = mk()
+	zero.Apply(0, &k) // before the window
+	if k != mk() {
+		t.Fatal("counter-zero fired outside its window")
+	}
+
+	corr, err := NewCounter(scenario(CounterCorrupt, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, k2 := mk(), mk()
+	corr.Apply(10, &k)
+	corr.Apply(10, &k2)
+	if !countersEqual(k, k2) {
+		t.Fatal("counter-corrupt not deterministic for the same step")
+	}
+	if countersEqual(k, mk()) {
+		t.Fatal("counter-corrupt@1 changed nothing")
+	}
+}
+
+// countersEqual compares field-wise with NaN == NaN, so deterministic
+// NaN poisoning still counts as equal.
+func countersEqual(a, b arch.Counters) bool {
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		x, y := va.Field(i).Float(), vb.Field(i).Float()
+		if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTapsDispatch(t *testing.T) {
+	s, c, err := Taps(scenario(SensorNoise, 0.5))
+	if err != nil || s == nil || c != nil {
+		t.Fatalf("sensor scenario taps = (%v, %v, %v)", s, c, err)
+	}
+	s, c, err = Taps(scenario(CounterZero, 0.5))
+	if err != nil || s != nil || c == nil {
+		t.Fatalf("counter scenario taps = (%v, %v, %v)", s, c, err)
+	}
+	s, c, err = Taps(Scenario{Class: None})
+	if err != nil || s != nil || c != nil {
+		t.Fatalf("none scenario taps = (%v, %v, %v)", s, c, err)
+	}
+}
+
+func TestGridIsCanonicalAndSeeded(t *testing.T) {
+	g := Grid(1, Classes(), []float64{0.4, 1}, 4)
+	if len(g) != len(Classes())*2 {
+		t.Fatalf("grid has %d scenarios", len(g))
+	}
+	seeds := map[uint64]bool{}
+	for _, sc := range g {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("grid scenario invalid: %v", err)
+		}
+		if seeds[sc.Seed] {
+			t.Fatalf("duplicate scenario seed %d", sc.Seed)
+		}
+		seeds[sc.Seed] = true
+	}
+	if !reflect.DeepEqual(g, Grid(1, Classes(), []float64{0.4, 1}, 4)) {
+		t.Fatal("grid not reproducible")
+	}
+}

@@ -2,6 +2,7 @@ package gbt
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -76,6 +77,16 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// LoadModel deserialises a model from an in-memory buffer. It never
+// panics, whatever the bytes: every structural invariant Predict relies
+// on (non-empty acyclic trees, in-range feature and child indices,
+// plausible header counts) is validated here, so arbitrary or corrupted
+// input yields an error, not a crash or an infinite loop at inference
+// time.
+func LoadModel(data []byte) (*Model, error) {
+	return Read(bytes.NewReader(data))
+}
+
 // Read deserialises a model written by WriteTo.
 func Read(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
@@ -93,8 +104,13 @@ func Read(r io.Reader) (*Model, error) {
 			return nil, err
 		}
 	}
-	if numFeat > 1<<16 || treeCount > 1<<20 {
+	if numFeat > 1<<16 || treeCount > 1<<20 || numTrees > 1<<20 {
 		return nil, fmt.Errorf("gbt: implausible header (%d features, %d trees)", numFeat, treeCount)
+	}
+	if maxDepth > 64 {
+		// Depth feeds shift-based cost formulas; a corrupt header must
+		// not turn them into garbage.
+		return nil, fmt.Errorf("gbt: implausible max depth %d", maxDepth)
 	}
 	m := &Model{Params: Params{NumTrees: int(numTrees), MaxDepth: int(maxDepth)}}
 	for _, f := range []*float64{&m.Params.LearningRate, &m.Params.Gamma, &m.Params.Lambda, &m.Params.MinChildWeight, &m.Base} {
@@ -119,6 +135,10 @@ func Read(r io.Reader) (*Model, error) {
 		var nn uint32
 		if err := get(&nn); err != nil {
 			return nil, err
+		}
+		if nn == 0 {
+			// An empty tree would make Predict index out of range.
+			return nil, fmt.Errorf("gbt: tree %d is empty", ti)
 		}
 		if nn > 1<<22 {
 			return nil, fmt.Errorf("gbt: implausible node count %d", nn)
@@ -148,7 +168,12 @@ func Read(r io.Reader) (*Model, error) {
 			nodes[i].Value = float64(val)
 			nodes[i].Gain = float64(gain)
 			if nodes[i].Feature >= 0 {
-				if nodes[i].Left < 0 || nodes[i].Right < 0 ||
+				// Trees are stored breadth-first, so a legitimate child
+				// always sits after its parent; requiring strictly
+				// increasing child indices also proves the tree acyclic,
+				// which is what keeps Predict from looping forever on a
+				// corrupted model.
+				if nodes[i].Left <= int32(i) || nodes[i].Right <= int32(i) ||
 					nodes[i].Left >= int32(nn) || nodes[i].Right >= int32(nn) {
 					return nil, fmt.Errorf("gbt: tree %d node %d has bad children", ti, i)
 				}

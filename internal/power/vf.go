@@ -68,8 +68,9 @@ func FrequencySteps() []float64 {
 }
 
 // ClampFrequency snaps f to the nearest legal step inside the DVFS range.
+// A NaN request fails safe to the minimum frequency.
 func ClampFrequency(fGHz float64) float64 {
-	if fGHz < MinFrequencyGHz {
+	if math.IsNaN(fGHz) || fGHz < MinFrequencyGHz {
 		return MinFrequencyGHz
 	}
 	if fGHz > MaxFrequencyGHz {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -176,5 +177,129 @@ func TestHashString(t *testing.T) {
 	}
 	if HashString("calculix") != HashString("calculix") {
 		t.Fatal("hash not stable")
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	// One panicking task must fail the pool cleanly at any parallelism,
+	// never crash the process, and report its index and stack.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), workers, 20, func(_ context.Context, i int) error {
+			if i == 7 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 7 || pe.Value != "boom" {
+			t.Fatalf("workers=%d: recovered %d/%v", workers, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+		for _, want := range []string{"task 7 panicked", "boom"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("workers=%d: error %q missing %q", workers, err, want)
+			}
+		}
+	}
+}
+
+func TestForEachLowestPanicIndexWins(t *testing.T) {
+	// Every task panics; the reported index must be deterministic.
+	err := ForEach(context.Background(), 8, 16, func(_ context.Context, i int) error {
+		panic(i)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("got %v, want panic from task 0", err)
+	}
+}
+
+func TestMapPanicDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 4, 8, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			panic("midway")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want discarded results and an error", out, err)
+	}
+}
+
+func TestForEachOptsRetriesTransientFailures(t *testing.T) {
+	attempts := make([]atomic.Int64, 6)
+	opts := Options{Attempts: 3, Backoff: time.Microsecond}
+	err := ForEachOpts(context.Background(), 4, len(attempts), opts, func(_ context.Context, i int) error {
+		if attempts[i].Add(1) < 3 && i%2 == 0 {
+			return fmt.Errorf("transient %d", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range attempts {
+		want := int64(1)
+		if i%2 == 0 {
+			want = 3
+		}
+		if got := attempts[i].Load(); got != want {
+			t.Fatalf("task %d ran %d times, want %d", i, got, want)
+		}
+	}
+}
+
+func TestForEachOptsExhaustsAttempts(t *testing.T) {
+	var attempts atomic.Int64
+	opts := Options{Attempts: 4}
+	err := ForEachOpts(context.Background(), 1, 1, opts, func(_ context.Context, i int) error {
+		attempts.Add(1)
+		return errors.New("always broken")
+	})
+	if err == nil || err.Error() != "always broken" {
+		t.Fatalf("got %v", err)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("ran %d attempts, want 4", got)
+	}
+}
+
+func TestForEachOptsNeverRetriesPanics(t *testing.T) {
+	var attempts atomic.Int64
+	opts := Options{Attempts: 5}
+	err := ForEachOpts(context.Background(), 1, 1, opts, func(_ context.Context, i int) error {
+		attempts.Add(1)
+		panic("bug, not a transient")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("panicking task retried %d times", got)
+	}
+}
+
+func TestMapOptsOrderedResultsWithRetries(t *testing.T) {
+	attempts := make([]atomic.Int64, 12)
+	opts := Options{Attempts: 2}
+	out, err := MapOpts(context.Background(), 8, len(attempts), opts, func(_ context.Context, i int) (int, error) {
+		if attempts[i].Add(1) == 1 {
+			return 0, fmt.Errorf("first attempt %d fails", i)
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
 	}
 }

@@ -117,6 +117,21 @@ func defaultSensorSpots() [][2]float64 {
 	}
 }
 
+// SensorTap intercepts the delayed sensor vector of every timestep before
+// it is surfaced in StepResult: the tap may mutate the readings in place,
+// which corrupts exactly what a controller (and the recorded trace) sees
+// while leaving the ground-truth thermal state untouched. The
+// fault-injection layer (internal/faults) is the canonical implementation.
+// A tap is stateful and belongs to one pipeline; install a fresh tap per
+// run.
+type SensorTap interface {
+	// Reset prepares the tap for a fresh run (called from Pipeline.Reset).
+	Reset()
+	// Apply may mutate the delayed readings of timestep step (0-based
+	// since the last reset).
+	Apply(step int, delayed []float64)
+}
+
 // Pipeline is one instantiated simulation. Not safe for concurrent use;
 // run independent simulations on separate Pipelines.
 type Pipeline struct {
@@ -129,6 +144,9 @@ type Pipeline struct {
 	mapper   *thermal.Mapper
 	analyzer *hotspot.Analyzer
 	sensors  *hotspot.SensorArray
+
+	tap       SensorTap
+	stepIndex int
 
 	time       float64
 	blockTemp  []float64
@@ -225,6 +243,18 @@ func (p *Pipeline) Thermal() *thermal.Model { return p.therm }
 // Sensors returns the sensor array.
 func (p *Pipeline) Sensors() *hotspot.SensorArray { return p.sensors }
 
+// SetSensorTap installs (or, with nil, removes) the sensor fault tap. The
+// tap is Reset and starts counting steps from the moment it is installed,
+// so installing after WarmStart keeps warm-up probe steps out of the
+// fault window.
+func (p *Pipeline) SetSensorTap(tap SensorTap) {
+	p.tap = tap
+	p.stepIndex = 0
+	if tap != nil {
+		tap.Reset()
+	}
+}
+
 // NumSensors returns the sensor count.
 func (p *Pipeline) NumSensors() int { return len(p.sensors.Sensors()) }
 
@@ -238,6 +268,10 @@ func (p *Pipeline) Reset() {
 	p.therm.Reset(p.cfg.Thermal.Ambient)
 	p.sensors.Reset(p.cfg.Thermal.Ambient)
 	p.time = 0
+	p.stepIndex = 0
+	if p.tap != nil {
+		p.tap.Reset()
+	}
 }
 
 // updateBlockTemps computes per-block mean die temperature.
@@ -326,6 +360,10 @@ func (p *Pipeline) Step(run *workload.Run, fGHz float64) (StepResult, error) {
 		res.SensorDelayed[i] = p.sensors.Read(i)
 		res.SensorCurrent[i] = p.sensors.Current(i)
 	}
+	if p.tap != nil {
+		p.tap.Apply(p.stepIndex, res.SensorDelayed)
+	}
+	p.stepIndex++
 	return res, nil
 }
 
@@ -365,6 +403,7 @@ func (p *Pipeline) WarmStart(w *workload.Workload, fGHz float64) error {
 		}
 	}
 	p.time = 0
+	p.stepIndex = 0
 	return nil
 }
 

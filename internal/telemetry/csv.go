@@ -30,20 +30,29 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset written by WriteCSV.
+// ReadCSV parses a dataset written by WriteCSV. Malformed input is
+// rejected with the line number, the offending column (by index and
+// feature name), the raw value and what was expected, so a truncated or
+// corrupted multi-gigabyte dataset dump is diagnosable from the error
+// alone.
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
+	// Field counts are validated here with a got/want message instead of
+	// the csv package's generic ErrFieldCount.
+	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: reading CSV header: %w", err)
 	}
 	if len(header) < 3 {
-		return nil, fmt.Errorf("telemetry: CSV header too short (%d columns)", len(header))
+		return nil, fmt.Errorf("telemetry: CSV header has %d columns, want at least 3 (features, severity_label, workload)", len(header))
 	}
 	if header[len(header)-2] != "severity_label" || header[len(header)-1] != "workload" {
-		return nil, fmt.Errorf("telemetry: CSV missing severity_label/workload columns")
+		return nil, fmt.Errorf("telemetry: CSV trailing columns are %q, %q; want severity_label, workload",
+			header[len(header)-2], header[len(header)-1])
 	}
 	d := NewDataset(header[: len(header)-2 : len(header)-2])
+	want := len(header)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -52,18 +61,23 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("telemetry: CSV line %d: %w", line, err)
 		}
+		if len(rec) != want {
+			return nil, fmt.Errorf("telemetry: CSV line %d: got %d fields, want %d (truncated row?)", line, len(rec), want)
+		}
 		x := make([]float64, len(d.FeatureNames))
 		for j := range x {
 			if x[j], err = strconv.ParseFloat(rec[j], 64); err != nil {
-				return nil, fmt.Errorf("telemetry: CSV line %d col %d: %w", line, j+1, err)
+				return nil, fmt.Errorf("telemetry: CSV line %d col %d (%s): bad value %q: %w",
+					line, j+1, d.FeatureNames[j], rec[j], err)
 			}
 		}
-		y, err := strconv.ParseFloat(rec[len(rec)-2], 64)
+		y, err := strconv.ParseFloat(rec[want-2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("telemetry: CSV line %d label: %w", line, err)
+			return nil, fmt.Errorf("telemetry: CSV line %d col %d (severity_label): bad value %q: %w",
+				line, want-1, rec[want-2], err)
 		}
-		if err := d.Add(x, y, rec[len(rec)-1]); err != nil {
-			return nil, err
+		if err := d.Add(x, y, rec[want-1]); err != nil {
+			return nil, fmt.Errorf("telemetry: CSV line %d: %w", line, err)
 		}
 	}
 	return d, nil

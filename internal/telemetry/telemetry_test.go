@@ -172,14 +172,37 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
-	for _, in := range []string{
-		"",
-		"a,b\n1,2\n",
-		"f1,severity_label,workload\nnope,0.5,w\n",
-		"f1,severity_label,workload\n1,bad,w\n",
-	} {
-		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
-			t.Fatalf("expected error for %q", in)
+	// Malformed input must be rejected with an error that pinpoints the
+	// damage: line number, column (index and name), raw value, got/want.
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the error must contain
+	}{
+		{"empty", "", []string{"header"}},
+		{"header-too-short", "a,b\n1,2\n", []string{"2 columns", "want at least 3"}},
+		{"wrong-trailing-columns", "f1,f2,label\n1,2,3\n", []string{`"f2"`, `"label"`, "severity_label"}},
+		{"garbage-feature", "f1,f2,severity_label,workload\n1,nope,0.5,w\n",
+			[]string{"line 2", "col 2", "(f2)", `"nope"`}},
+		{"garbage-label", "f1,severity_label,workload\n1,bad,w\n",
+			[]string{"line 2", "(severity_label)", `"bad"`}},
+		{"truncated-row", "f1,f2,severity_label,workload\n1,2,0.5,w\n1,2\n",
+			[]string{"line 3", "got 2 fields", "want 4"}},
+		{"extra-fields", "f1,severity_label,workload\n1,0.5,w,oops\n",
+			[]string{"line 2", "got 4 fields", "want 3"}},
+		{"truncated-second-row", "f1,severity_label,workload\n1,0.5,w\n0.25\n",
+			[]string{"line 3", "got 1 fields", "want 3"}},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: expected error for %q", tc.name, tc.in)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, want)
+			}
 		}
 	}
 }
