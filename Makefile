@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke ci bench bench-parallel clean
+.PHONY: all build vet test race fuzz-smoke bench-trace-smoke ci bench bench-parallel bench-trace clean
 
 all: build
 
@@ -28,7 +28,12 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadModel -fuzztime=10s ./internal/ml/gbt
 
-ci: build vet test race fuzz-smoke
+# One-iteration smoke of the trace-layer benchmark: catches alloc
+# regressions on the streaming path without paying full bench time.
+bench-trace-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkRunStaticTrace -benchtime=1x -benchmem .
+
+ci: build vet test race fuzz-smoke bench-trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -36,6 +41,10 @@ bench:
 # Refresh BENCH_parallel.json (sequential vs parallel campaign timings).
 bench-parallel:
 	BENCH_PARALLEL=1 $(GO) test -run TestWriteBenchParallelArtefact -v .
+
+# Refresh BENCH_trace.json (materialized vs streaming RunStatic).
+bench-trace:
+	BENCH_TRACE=1 $(GO) test -run TestWriteBenchTraceArtefact -v .
 
 clean:
 	$(GO) clean ./...

@@ -32,6 +32,7 @@ import (
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
 	"github.com/hotgauge/boreas/internal/thermal"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -624,4 +625,128 @@ func TestWriteBenchParallelArtefact(t *testing.T) {
 	}
 	t.Logf("build: j1 %.2fs, j4 %.2fs (%.2fx); sweep: j1 %.2fs, j4 %.2fs (%.2fx) on %d CPU(s)",
 		buildJ1, buildJ4, buildJ1/buildJ4, sweepJ1, sweepJ4, sweepJ1/sweepJ4, runtime.NumCPU())
+}
+
+// benchTraceSink keeps the reduced peak live so the compiler cannot
+// eliminate either benchmark body.
+var benchTraceSink float64
+
+// traceBenchSim is the pipeline scale used by the trace-layer benches:
+// the quick campaign grid with a short warm start.
+func traceBenchSim() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Thermal.NX, cfg.Thermal.NY = 24, 18
+	cfg.WarmStartProbeSteps = 5
+	return cfg
+}
+
+const (
+	traceBenchWorkload = "gromacs"
+	traceBenchFreq     = 4.25
+	traceBenchSteps    = 96
+)
+
+// BenchmarkRunStaticTrace compares the two ways to consume a static run:
+// the seed's materializing Pipeline.RunStatic (one []StepResult plus two
+// sensor slices per step) against the streaming trace.RunStatic feeding a
+// PeakReducer (O(1) memory). Both reduce to peak severity, so the work
+// per step is identical and the delta is purely the trace representation.
+func BenchmarkRunStaticTrace(b *testing.B) {
+	b.Run("materialized", func(b *testing.B) {
+		p, err := sim.New(traceBenchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, err := p.RunStatic(traceBenchWorkload, traceBenchFreq, traceBenchSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTraceSink = sim.PeakSeverity(tr)
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		p, err := sim.New(traceBenchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pr trace.PeakReducer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := trace.RunStatic(p, traceBenchWorkload, traceBenchFreq, traceBenchSteps, &pr); err != nil {
+				b.Fatal(err)
+			}
+			benchTraceSink = pr.PeakSeverity
+		}
+	})
+}
+
+// TestWriteBenchTraceArtefact measures both RunStatic paths and records
+// the result in BENCH_trace.json. Gated behind an env var so the regular
+// test run stays fast:
+//
+//	BENCH_TRACE=1 go test -run TestWriteBenchTraceArtefact .
+func TestWriteBenchTraceArtefact(t *testing.T) {
+	if os.Getenv("BENCH_TRACE") == "" {
+		t.Skip("set BENCH_TRACE=1 to refresh BENCH_trace.json")
+	}
+	materialized := testing.Benchmark(func(b *testing.B) {
+		p, err := sim.New(traceBenchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, err := p.RunStatic(traceBenchWorkload, traceBenchFreq, traceBenchSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTraceSink = sim.PeakSeverity(tr)
+		}
+	})
+	streaming := testing.Benchmark(func(b *testing.B) {
+		p, err := sim.New(traceBenchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pr trace.PeakReducer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := trace.RunStatic(p, traceBenchWorkload, traceBenchFreq, traceBenchSteps, &pr); err != nil {
+				b.Fatal(err)
+			}
+			benchTraceSink = pr.PeakSeverity
+		}
+	})
+	streamAllocs := streaming.AllocsPerOp()
+	if streamAllocs < 1 {
+		streamAllocs = 1 // avoid a zero divisor in the ratio below
+	}
+	artefact := map[string]any{
+		"workload":                   traceBenchWorkload,
+		"frequency_ghz":              traceBenchFreq,
+		"steps_per_run":              traceBenchSteps,
+		"materialized_ns_per_op":     materialized.NsPerOp(),
+		"materialized_allocs_per_op": materialized.AllocsPerOp(),
+		"materialized_bytes_per_op":  materialized.AllocedBytesPerOp(),
+		"streaming_ns_per_op":        streaming.NsPerOp(),
+		"streaming_allocs_per_op":    streaming.AllocsPerOp(),
+		"streaming_bytes_per_op":     streaming.AllocedBytesPerOp(),
+		"alloc_ratio":                float64(materialized.AllocsPerOp()) / float64(streamAllocs),
+		"identity_verified_by":       "TestEquivalence_* and internal/trace golden tests",
+	}
+	data, err := json.MarshalIndent(artefact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_trace.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("materialized: %d allocs/op, %d B/op; streaming: %d allocs/op, %d B/op (%.1fx fewer allocs)",
+		materialized.AllocsPerOp(), materialized.AllocedBytesPerOp(),
+		streaming.AllocsPerOp(), streaming.AllocedBytesPerOp(),
+		float64(materialized.AllocsPerOp())/float64(streamAllocs))
 }

@@ -44,6 +44,7 @@ import (
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -85,10 +86,48 @@ func DefaultSeverityParams() SeverityParams { return hotspot.DefaultSeverityPara
 // DefaultSensorIndex is the paper's preferred sensor (tsens03, EX stage).
 const DefaultSensorIndex = sim.DefaultSensorIndex
 
+// Streaming telemetry (the trace/observer layer). Consumers that only
+// need a reduction of a run — a peak, a dataset row, a CSV line —
+// observe the step stream instead of materializing []StepResult.
+type (
+	// TraceMeta describes the run a drive loop is about to execute.
+	TraceMeta = trace.Meta
+	// TraceObserver consumes a stream of pipeline timesteps. The
+	// StepResult handed to Observe is scratch: copy what you retain.
+	TraceObserver = trace.Observer
+	// TraceObserverFunc adapts a per-step function to TraceObserver.
+	TraceObserverFunc = trace.ObserverFunc
+	// Trace is a columnar (struct-of-arrays) run record.
+	Trace = trace.Trace
+	// TraceRecorder is an observer that fills a columnar Trace.
+	TraceRecorder = trace.Recorder
+	// PeakReducer folds a run to its peaks and energy in O(1) memory.
+	PeakReducer = trace.PeakReducer
+)
+
+// TeeObservers fans one observer stream out to several observers.
+func TeeObservers(obs ...TraceObserver) TraceObserver { return trace.Tee(obs...) }
+
+// RunStaticObserved warm-starts the pipeline and streams a fixed-
+// frequency run of the named workload to the observers; it is the
+// streaming equivalent of Pipeline.RunStatic and bit-identical to it.
+func RunStaticObserved(p *Pipeline, name string, fGHz float64, steps int, obs ...TraceObserver) error {
+	return trace.RunStatic(p, name, fGHz, steps, obs...)
+}
+
+// DriveTrace advances the pipeline steps timesteps from its current
+// state, asking freqFn for each step's frequency and fanning the
+// telemetry to the observers (no warm start, no materialization).
+func DriveTrace(p *Pipeline, run *WorkloadRun, freqFn func(step int) float64, steps int, obs ...TraceObserver) error {
+	return trace.Drive(p, run, freqFn, steps, obs...)
+}
+
 // Workloads.
 type (
 	// Workload is a synthetic SPEC CPU2006 behavioural model.
 	Workload = workload.Workload
+	// WorkloadRun is one seeded execution of a workload (Workload.NewRun).
+	WorkloadRun = workload.Run
 )
 
 // Workloads returns the full 27-benchmark catalogue.

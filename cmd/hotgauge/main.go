@@ -17,6 +17,7 @@ import (
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -104,18 +105,16 @@ func dumpTrace(w *os.File, name string, freq float64, steps int) error {
 	if err != nil {
 		return err
 	}
-	trace, err := p.RunStatic(name, power.ClampFrequency(freq), steps)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintln(w, "time_ms,freq_ghz,voltage,power_w,max_temp,max_mltd,severity,sensor_tsens03,ipc")
-	for _, r := range trace {
-		fmt.Fprintf(w, "%.3f,%.2f,%.3f,%.2f,%.2f,%.2f,%.4f,%.2f,%.3f\n",
-			r.Time*1e3, r.FrequencyGHz, r.Voltage, r.TotalPower,
-			r.Severity.MaxTemp, r.Severity.MaxMLTD, r.Severity.Max,
-			r.SensorDelayed[sim.DefaultSensorIndex], r.Counters.IPC())
-	}
-	return nil
+	// Stream each row straight from the drive loop: nothing is buffered,
+	// so the dump works at any trace length in constant memory.
+	return trace.RunStatic(p, name, power.ClampFrequency(freq), steps,
+		trace.ObserverFunc(func(step int, r *sim.StepResult) {
+			fmt.Fprintf(w, "%.3f,%.2f,%.3f,%.2f,%.2f,%.2f,%.4f,%.2f,%.3f\n",
+				r.Time*1e3, r.FrequencyGHz, r.Voltage, r.TotalPower,
+				r.Severity.MaxTemp, r.Severity.MaxMLTD, r.Severity.Max,
+				r.SensorDelayed[sim.DefaultSensorIndex], r.Counters.IPC())
+		}))
 }
 
 func fatal(err error) {

@@ -2,6 +2,11 @@
 // sensor placement determines what a thermal controller can see, and
 // read-out delay determines how late it sees it. Runs one hot workload
 // with all seven sensors and sweeps the delay.
+//
+// Part 1 records the run into a columnar Trace via the streaming
+// trace/observer layer; part 2 shows the other end of that spectrum: a
+// pure per-step observer that folds each delay sweep down to one scalar
+// without materializing anything.
 package main
 
 import (
@@ -25,14 +30,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace, err := pipe.RunStatic(name, freq, steps)
+	var rec boreas.TraceRecorder
+	hotCool := 0
+	err = boreas.RunStaticObserved(pipe, name, freq, steps, &rec,
+		boreas.TraceObserverFunc(func(step int, r *boreas.StepResult) {
+			if r.Severity.Max >= 1 && r.SensorDelayed[boreas.DefaultSensorIndex] < 100 {
+				hotCool++
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	last := trace[len(trace)-1]
+	t := &rec.T
+	last := t.Len() - 1
 	fmt.Printf("%s at %.2f GHz for 12 ms: final die peak %.1f C, severity %.3f\n\n",
-		name, freq, last.Severity.MaxTemp, last.Severity.Max)
+		name, freq, t.Severities[last].MaxTemp, t.Severities[last].Max)
 	fmt.Println("sensor readings at the end of the run (960 us read-out delay):")
+	finalDelayed := t.SensorDelayedAt(last)
 	for i, s := range pipe.Sensors().Sensors() {
 		note := ""
 		switch i {
@@ -42,19 +56,14 @@ func main() {
 			note = "  <- poorly placed: tracks only bulk warm-up"
 		}
 		fmt.Printf("  %s (%.2f, %.2f) mm: %6.1f C%s\n",
-			s.Name, s.XM*1e3, s.YM*1e3, last.SensorDelayed[i], note)
-	}
-	hotCool := 0
-	for _, r := range trace {
-		if r.Severity.Max >= 1 && r.SensorDelayed[boreas.DefaultSensorIndex] < 100 {
-			hotCool++
-		}
+			s.Name, s.XM*1e3, s.YM*1e3, finalDelayed[i], note)
 	}
 	fmt.Printf("\nsteps with severity >= 1.0 while the best sensor read under 100 C: %d of %d\n",
 		hotCool, steps)
 
 	// Part 2: delay sweep. The same sensor becomes less useful as the
-	// read-out latency grows (0, 180 us, 960 us as in the paper).
+	// read-out latency grows (0, 180 us, 960 us as in the paper). Each
+	// sweep streams: only the worst lag survives the run.
 	fmt.Println("\nsensor delay sweep (worst reading lag vs ground truth at the sensor cell):")
 	for _, delay := range []float64{0, 180e-6, 960e-6} {
 		dcfg := cfg
@@ -63,16 +72,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dtrace, err := dp.RunStatic(name, freq, steps)
+		worst := 0.0
+		err = boreas.RunStaticObserved(dp, name, freq, steps,
+			boreas.TraceObserverFunc(func(step int, r *boreas.StepResult) {
+				lag := r.SensorCurrent[boreas.DefaultSensorIndex] - r.SensorDelayed[boreas.DefaultSensorIndex]
+				if lag > worst {
+					worst = lag
+				}
+			}))
 		if err != nil {
 			log.Fatal(err)
-		}
-		worst := 0.0
-		for _, r := range dtrace {
-			lag := r.SensorCurrent[boreas.DefaultSensorIndex] - r.SensorDelayed[boreas.DefaultSensorIndex]
-			if lag > worst {
-				worst = lag
-			}
 		}
 		fmt.Printf("  delay %4.0f us: sensor lags ground truth by up to %.1f C\n", delay*1e6, worst)
 	}

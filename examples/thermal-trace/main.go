@@ -2,6 +2,11 @@
 // fast hotspot form. Runs the spiky gromacs workload pinned above its
 // safe ceiling and prints the power/temperature/MLTD/severity evolution -
 // the raw phenomenon Boreas exists to mitigate.
+//
+// The run streams through the trace/observer layer: a TraceRecorder
+// captures the full run as a columnar Trace (one flat slice per signal)
+// while a PeakReducer folds the same stream to its peaks and energy in
+// O(1) memory - both fed by a single pass over the pipeline.
 package main
 
 import (
@@ -22,33 +27,40 @@ func main() {
 		freq  = 4.25 // one step above gromacs's ~4.0 GHz safe ceiling
 		steps = 150  // 12 ms
 	)
-	trace, err := pipe.RunStatic(name, freq, steps)
-	if err != nil {
+	var (
+		rec  boreas.TraceRecorder
+		peak boreas.PeakReducer
+	)
+	if err := boreas.RunStaticObserved(pipe, name, freq, steps, &rec, &peak); err != nil {
 		log.Fatal(err)
 	}
+	t := &rec.T
 
 	fmt.Printf("%s pinned at %.2f GHz (V = %.2f): 12 ms trace\n\n", name, freq, boreas.VoltageFor(freq))
 	fmt.Println("  time   power   maxT   MLTD  severity  sensor(tsens03)")
-	worstStep, worst := 0, 0.0
-	for i, r := range trace {
-		if r.Severity.Max > worst {
-			worst, worstStep = r.Severity.Max, i
+	worstStep := 0
+	for i := 0; i < t.Len(); i++ {
+		if t.Severities[i].Max > t.Severities[worstStep].Max {
+			worstStep = i
 		}
 		if i%10 != 9 {
 			continue
 		}
-		bar := strings.Repeat("#", int(20*min(r.Severity.Max, 1)))
+		bar := strings.Repeat("#", int(20*min(t.Severities[i].Max, 1)))
 		fmt.Printf("  %4.1fms %5.1fW %5.1fC %5.1fC  %6.3f %s\n",
-			r.Time*1e3, r.TotalPower, r.Severity.MaxTemp, r.Severity.MaxMLTD, r.Severity.Max, bar)
-		_ = bar
+			t.Times[i]*1e3, t.Power[i], t.Severities[i].MaxTemp, t.Severities[i].MaxMLTD,
+			t.Severities[i].Max, bar)
 	}
-	r := trace[worstStep]
+	sev := t.Severities[worstStep]
+	sensor := t.SensorDelayedAt(worstStep)[boreas.DefaultSensorIndex]
 	fmt.Printf("\nworst moment: t=%.2f ms, severity %.3f (>= 1.0 means immediate danger)\n",
-		r.Time*1e3, r.Severity.Max)
-	fmt.Printf("  die peak %.1f C with %.1f C of local gradient (MLTD)\n", r.Severity.MaxTemp, r.Severity.MaxMLTD)
+		t.Times[worstStep]*1e3, sev.Max)
+	fmt.Printf("  die peak %.1f C with %.1f C of local gradient (MLTD)\n", sev.MaxTemp, sev.MaxMLTD)
 	fmt.Printf("  the delayed EX-stage sensor read %.1f C at that moment, %.1f C behind the peak -\n",
-		r.SensorDelayed[boreas.DefaultSensorIndex], r.Severity.MaxTemp-r.SensorDelayed[boreas.DefaultSensorIndex])
+		sensor, sev.MaxTemp-sensor)
 	fmt.Println("  the blind spot (sensor offset + read-out delay) a reactive controller must guardband.")
+	fmt.Printf("\nrun totals (streamed reduction): peak severity %.3f, peak temp %.1f C, %.2f J over %d steps\n",
+		peak.PeakSeverity, peak.PeakTemp, peak.EnergyJ, peak.Steps)
 }
 
 func min(a, b float64) float64 {

@@ -13,6 +13,7 @@ import (
 	"github.com/hotgauge/boreas/internal/arch"
 	"github.com/hotgauge/boreas/internal/power"
 	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -135,8 +136,48 @@ type LoopResult struct {
 	Incursions int
 }
 
+// loopObserver closes the control loop over the streaming drive: it
+// scores every timestep into the LoopResult and, at decision boundaries,
+// feeds the step's telemetry to the controller and updates freq — which
+// the drive's freqFn reads before executing the next step. Everything it
+// retains from the scratch StepResult is copied by value (scalars and
+// the Counters struct), per the trace.Observer contract.
+type loopObserver struct {
+	cfg  LoopConfig
+	ctrl Controller
+	res  *LoopResult
+	freq float64
+}
+
+func (o *loopObserver) Begin(trace.Meta) {}
+
+func (o *loopObserver) Observe(step int, r *sim.StepResult) {
+	res := o.res
+	res.Freqs = append(res.Freqs, o.freq)
+	res.Severity = append(res.Severity, r.Severity.Max)
+	res.SensorTemp = append(res.SensorTemp, r.SensorDelayed[o.cfg.SensorIndex])
+	res.PeakMLTD = math.Max(res.PeakMLTD, r.Severity.MaxMLTD)
+	if r.Severity.Max >= 1.0 {
+		res.Incursions++
+	}
+	if (step+1)%o.cfg.DecisionPeriod == 0 && step+1 < o.cfg.Steps {
+		obs := Observation{
+			Counters:    r.Counters,
+			SensorTemp:  r.SensorDelayed[o.cfg.SensorIndex],
+			CurrentFreq: o.freq,
+		}
+		if o.cfg.CounterTap != nil {
+			o.cfg.CounterTap.Apply(step, &obs.Counters)
+		}
+		o.freq = power.ClampFrequency(o.ctrl.Decide(obs))
+	}
+}
+
+func (o *loopObserver) End() error { return nil }
+
 // RunLoop executes a closed-loop run of the controller on the workload.
-// The pipeline is warm-started at the starting frequency.
+// The pipeline is warm-started at the starting frequency. The run streams
+// through trace.Drive — no intermediate []sim.StepResult is materialized.
 func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl Controller, cfg LoopConfig) (*LoopResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -167,32 +208,9 @@ func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl Controller, cfg LoopCon
 		Severity:   make([]float64, 0, cfg.Steps),
 		SensorTemp: make([]float64, 0, cfg.Steps),
 	}
-	freq := cfg.StartFreq
-	var last sim.StepResult
-	for step := 0; step < cfg.Steps; step++ {
-		r, err := p.Step(run, freq)
-		if err != nil {
-			return nil, err
-		}
-		last = r
-		res.Freqs = append(res.Freqs, freq)
-		res.Severity = append(res.Severity, r.Severity.Max)
-		res.SensorTemp = append(res.SensorTemp, r.SensorDelayed[cfg.SensorIndex])
-		res.PeakMLTD = math.Max(res.PeakMLTD, r.Severity.MaxMLTD)
-		if r.Severity.Max >= 1.0 {
-			res.Incursions++
-		}
-		if (step+1)%cfg.DecisionPeriod == 0 && step+1 < cfg.Steps {
-			obs := Observation{
-				Counters:    last.Counters,
-				SensorTemp:  last.SensorDelayed[cfg.SensorIndex],
-				CurrentFreq: freq,
-			}
-			if cfg.CounterTap != nil {
-				cfg.CounterTap.Apply(step, &obs.Counters)
-			}
-			freq = power.ClampFrequency(ctrl.Decide(obs))
-		}
+	lo := &loopObserver{cfg: cfg, ctrl: ctrl, res: res, freq: cfg.StartFreq}
+	if err := trace.Drive(p, run, func(int) float64 { return lo.freq }, cfg.Steps, lo); err != nil {
+		return nil, err
 	}
 	sum := 0.0
 	for _, f := range res.Freqs {

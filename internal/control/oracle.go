@@ -7,6 +7,7 @@ import (
 
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
 )
 
 // OracleTable is the §III-B upper bound: for every workload, the most
@@ -47,7 +48,7 @@ func BuildOracleContext(ctx context.Context, p *sim.Pipeline, workloads []string
 		t.Peak[name] = make(map[float64]float64, len(freqs))
 		best := math.Inf(-1)
 		for fi, f := range freqs {
-			peak := sim.PeakSeverity(peaks[wi*len(freqs)+fi])
+			peak := peaks[wi*len(freqs)+fi]
 			t.Peak[name][f] = peak
 			if peak < 1.0 && f > best {
 				best = f
@@ -62,17 +63,23 @@ func BuildOracleContext(ctx context.Context, p *sim.Pipeline, workloads []string
 }
 
 // sweepPeaks runs the full (workload, frequency) grid of static runs in
-// parallel and returns the traces in row-major (workload, frequency)
-// order. Each task runs on its own clone of p.
-func sweepPeaks(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) ([][]sim.StepResult, error) {
+// parallel and returns the peak ground-truth severities in row-major
+// (workload, frequency) order. Each task runs on its own clone of p and
+// streams through a trace.PeakReducer, so per-task memory is O(1) in the
+// trace length regardless of the worker count.
+func sweepPeaks(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) ([]float64, error) {
 	n := len(workloads) * len(freqs)
-	return runner.Map(ctx, workers, n, func(ctx context.Context, i int) ([]sim.StepResult, error) {
+	return runner.Map(ctx, workers, n, func(ctx context.Context, i int) (float64, error) {
 		name, f := workloads[i/len(freqs)], freqs[i%len(freqs)]
 		pc, err := p.Clone()
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		return pc.RunStatic(name, f, steps)
+		var pr trace.PeakReducer
+		if err := trace.RunStatic(pc, name, f, steps, &pr); err != nil {
+			return 0, err
+		}
+		return pr.PeakSeverity, nil
 	})
 }
 

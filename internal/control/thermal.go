@@ -8,8 +8,30 @@ import (
 	"github.com/hotgauge/boreas/internal/power"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
+
+// critTempObserver streams one calibration run down to the lowest
+// delayed-sensor reading observed while the chip's ground-truth severity
+// was at or above 1.0 — the raw material of the critical-temperature
+// table — in O(1) memory. +Inf means the run never misbehaved.
+type critTempObserver struct {
+	sensor int
+	crit   float64
+}
+
+func (o *critTempObserver) Begin(trace.Meta) { o.crit = math.Inf(1) }
+
+func (o *critTempObserver) Observe(step int, r *sim.StepResult) {
+	if r.Severity.Max >= 1.0 {
+		if t := r.SensorDelayed[o.sensor]; t < o.crit {
+			o.crit = t
+		}
+	}
+}
+
+func (o *critTempObserver) End() error { return nil }
 
 // CriticalTemps is the thermal-threshold table of §III-D: for each
 // operating frequency, the lowest sensor temperature at which the chip's
@@ -42,7 +64,21 @@ func BuildCriticalTempsContext(ctx context.Context, p *sim.Pipeline, workloads [
 	if sensorIndex < 0 || sensorIndex >= p.NumSensors() {
 		return nil, fmt.Errorf("control: sensor index %d out of range", sensorIndex)
 	}
-	traces, err := sweepPeaks(ctx, p, workloads, freqs, steps, workers)
+	// Stream each (workload, frequency) run through a critTempObserver:
+	// only the scalar critical temperature survives per task, not the
+	// full trace.
+	crits, err := runner.Map(ctx, workers, len(workloads)*len(freqs), func(ctx context.Context, i int) (float64, error) {
+		name, f := workloads[i/len(freqs)], freqs[i%len(freqs)]
+		pc, err := p.Clone()
+		if err != nil {
+			return 0, err
+		}
+		obs := &critTempObserver{sensor: sensorIndex}
+		if err := trace.RunStatic(pc, name, f, steps, obs); err != nil {
+			return 0, err
+		}
+		return obs.crit, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -56,15 +92,7 @@ func BuildCriticalTempsContext(ctx context.Context, p *sim.Pipeline, workloads [
 	for wi, name := range workloads {
 		ct.PerWorkload[name] = make(map[float64]float64, len(freqs))
 		for fi, f := range freqs {
-			trace := traces[wi*len(freqs)+fi]
-			crit := math.Inf(1)
-			for i := range trace {
-				if trace[i].Severity.Max >= 1.0 {
-					if t := trace[i].SensorDelayed[sensorIndex]; t < crit {
-						crit = t
-					}
-				}
-			}
+			crit := crits[wi*len(freqs)+fi]
 			ct.PerWorkload[name][f] = crit
 			if crit < ct.Global[f] {
 				ct.Global[f] = crit

@@ -7,6 +7,8 @@ import (
 
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/runner"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -118,19 +120,21 @@ func Fig5SensorStudy(l *Lab, name string, fGHz float64) (*Fig5Result, error) {
 	for _, s := range p.Sensors().Sensors() {
 		res.SensorNames = append(res.SensorNames, s.Name)
 	}
-	for step := 0; step < l.cfg.StepsPerRun; step++ {
-		r, err := p.Step(run, fGHz)
-		if err != nil {
-			return nil, err
-		}
-		res.TimesMs = append(res.TimesMs, r.Time*1e3)
-		for i := 0; i < n; i++ {
-			res.SensorTemps[i] = append(res.SensorTemps[i], r.SensorDelayed[i])
-		}
-		res.Severity = append(res.Severity, r.Severity.Max)
-		if r.Severity.Max >= 1 && r.SensorDelayed[l.cfg.SensorIndex] < 100 {
-			res.SeverityAboveOneWhileCool++
-		}
+	// Stream the run straight into the per-sensor columns; every retained
+	// value is a scalar copy out of the drive loop's scratch result.
+	err = trace.Drive(p, run, func(int) float64 { return fGHz }, l.cfg.StepsPerRun,
+		trace.ObserverFunc(func(step int, r *sim.StepResult) {
+			res.TimesMs = append(res.TimesMs, r.Time*1e3)
+			for i := 0; i < n; i++ {
+				res.SensorTemps[i] = append(res.SensorTemps[i], r.SensorDelayed[i])
+			}
+			res.Severity = append(res.Severity, r.Severity.Max)
+			if r.Severity.Max >= 1 && r.SensorDelayed[l.cfg.SensorIndex] < 100 {
+				res.SeverityAboveOneWhileCool++
+			}
+		}))
+	if err != nil {
+		return nil, err
 	}
 	// Spread across the informative sensors (0..3).
 	for step := range res.TimesMs {

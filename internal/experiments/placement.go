@@ -8,6 +8,8 @@ import (
 
 	"github.com/hotgauge/boreas/internal/hotspot"
 	"github.com/hotgauge/boreas/internal/runner"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -62,16 +64,16 @@ func SensorPlacement(l *Lab, k int) (*PlacementResult, error) {
 		}
 		run := w.NewRun(l.cfg.Sim.Seed)
 		var sites [][2]float64
-		for step := 0; step < l.cfg.StepsPerRun; step++ {
-			r, err := pc.Step(run, f)
-			if err != nil {
-				return nil, err
-			}
-			if r.Severity.Max >= 0.9 && r.Severity.ArgMax >= 0 {
-				cx := (float64(r.Severity.ArgMax%therm.NX()) + 0.5) * therm.CellW()
-				cy := (float64(r.Severity.ArgMax/therm.NX()) + 0.5) * therm.CellH()
-				sites = append(sites, [2]float64{cx, cy})
-			}
+		err = trace.Drive(pc, run, func(int) float64 { return f }, l.cfg.StepsPerRun,
+			trace.ObserverFunc(func(step int, r *sim.StepResult) {
+				if r.Severity.Max >= 0.9 && r.Severity.ArgMax >= 0 {
+					cx := (float64(r.Severity.ArgMax%therm.NX()) + 0.5) * therm.CellW()
+					cy := (float64(r.Severity.ArgMax/therm.NX()) + 0.5) * therm.CellH()
+					sites = append(sites, [2]float64{cx, cy})
+				}
+			}))
+		if err != nil {
+			return nil, err
 		}
 		return sites, nil
 	})

@@ -74,6 +74,7 @@ type Analyzer struct {
 
 	scratch []float64
 	minBuf  []float64
+	deque   []int
 }
 
 // NewAnalyzer builds an analyzer for an nx x ny grid with the given cell
@@ -101,6 +102,7 @@ func NewAnalyzer(nx, ny int, cellW, cellH float64, params SeverityParams) (*Anal
 		ry:      ry,
 		scratch: make([]float64, nx*ny),
 		minBuf:  make([]float64, nx*ny),
+		deque:   make([]int, nx+ny+2),
 	}, nil
 }
 
@@ -143,7 +145,7 @@ func slidingMin(src, dst []float64, n, stride, r int, deque []int) {
 // rectangle around every cell, using two separable passes.
 func (a *Analyzer) minFilter(grid []float64) []float64 {
 	nx, ny := a.nx, a.ny
-	deque := make([]int, nx+ny+2)
+	deque := a.deque
 	// Horizontal pass: rows of grid -> scratch.
 	for y := 0; y < ny; y++ {
 		slidingMin(grid[y*nx:], a.scratch[y*nx:], nx, 1, a.rx, deque)

@@ -311,13 +311,44 @@ type StepResult struct {
 
 // Step advances the pipeline one timestep with the workload run at the
 // given frequency. The voltage is looked up from the Table I VF curve.
+//
+// Step is the materializing compatibility wrapper around StepInto: it
+// allocates fresh sensor slices for every timestep, so callers may retain
+// the returned StepResult indefinitely. Hot streaming paths (the
+// internal/trace drive loop) use StepInto with caller-owned scratch
+// instead and pay no per-step allocation.
 func (p *Pipeline) Step(run *workload.Run, fGHz float64) (StepResult, error) {
+	var res StepResult // nil slices: StepInto allocates fresh ones
+	if err := p.StepInto(run, fGHz, &res); err != nil {
+		return StepResult{}, err
+	}
+	return res, nil
+}
+
+// resize returns s with length n, reusing its backing array when the
+// capacity allows and allocating otherwise.
+func resize(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// StepInto advances the pipeline one timestep and writes the telemetry
+// into *res, reusing res.SensorDelayed and res.SensorCurrent as scratch
+// when their capacity suffices (they are (re)sliced to the sensor count,
+// allocated only if too small). Passing the same *res across steps makes
+// the step loop allocation-free; the slice contents are overwritten on
+// the next call, so callers that retain readings must copy them (or use
+// Step, which always allocates). On error *res is left unspecified and
+// the pipeline state is unchanged.
+func (p *Pipeline) StepInto(run *workload.Run, fGHz float64, res *StepResult) error {
 	volt := power.VoltageFor(fGHz)
 	params := run.ParamsAt(p.time)
 
 	counters, err := p.core.Step(params, fGHz, volt, p.cfg.TimestepSec)
 	if err != nil {
-		return StepResult{}, fmt.Errorf("sim: core step: %w", err)
+		return fmt.Errorf("sim: core step: %w", err)
 	}
 
 	act := arch.ActivityVector(counters)
@@ -326,36 +357,34 @@ func (p *Pipeline) Step(run *workload.Run, fGHz float64) (StepResult, error) {
 	}
 	p.updateBlockTemps()
 	if _, err := p.pow.Compute(p.blockAct, fGHz, volt, p.blockTemp, p.blockPower); err != nil {
-		return StepResult{}, fmt.Errorf("sim: power: %w", err)
+		return fmt.Errorf("sim: power: %w", err)
 	}
 	if _, err := p.mapper.Distribute(p.blockPower, p.cellPower); err != nil {
-		return StepResult{}, fmt.Errorf("sim: power map: %w", err)
+		return fmt.Errorf("sim: power map: %w", err)
 	}
 	if err := p.therm.StepFor(p.cellPower, p.cfg.TimestepSec); err != nil {
-		return StepResult{}, fmt.Errorf("sim: thermal: %w", err)
+		return fmt.Errorf("sim: thermal: %w", err)
 	}
 
 	die := p.therm.Die()
 	sev, err := p.analyzer.Analyze(die)
 	if err != nil {
-		return StepResult{}, fmt.Errorf("sim: severity: %w", err)
+		return fmt.Errorf("sim: severity: %w", err)
 	}
 	if err := p.sensors.Record(die); err != nil {
-		return StepResult{}, fmt.Errorf("sim: sensors: %w", err)
+		return fmt.Errorf("sim: sensors: %w", err)
 	}
 
 	p.time += p.cfg.TimestepSec
 	n := p.NumSensors()
-	res := StepResult{
-		Time:          p.time,
-		FrequencyGHz:  fGHz,
-		Voltage:       volt,
-		Counters:      counters,
-		TotalPower:    power.Total(p.blockPower),
-		Severity:      sev,
-		SensorDelayed: make([]float64, n),
-		SensorCurrent: make([]float64, n),
-	}
+	res.Time = p.time
+	res.FrequencyGHz = fGHz
+	res.Voltage = volt
+	res.Counters = counters
+	res.TotalPower = power.Total(p.blockPower)
+	res.Severity = sev
+	res.SensorDelayed = resize(res.SensorDelayed, n)
+	res.SensorCurrent = resize(res.SensorCurrent, n)
 	for i := 0; i < n; i++ {
 		res.SensorDelayed[i] = p.sensors.Read(i)
 		res.SensorCurrent[i] = p.sensors.Current(i)
@@ -364,7 +393,7 @@ func (p *Pipeline) Step(run *workload.Run, fGHz float64) (StepResult, error) {
 		p.tap.Apply(p.stepIndex, res.SensorDelayed)
 	}
 	p.stepIndex++
-	return res, nil
+	return nil
 }
 
 // WarmStart resets the pipeline and primes its thermal state: the
@@ -379,8 +408,9 @@ func (p *Pipeline) WarmStart(w *workload.Workload, fGHz float64) error {
 	}
 	run := w.NewRun(p.cfg.Seed ^ 0xdead)
 	avg := make([]float64, len(p.cellPower))
+	var probe StepResult // reused scratch: probe telemetry is discarded
 	for i := 0; i < p.cfg.WarmStartProbeSteps; i++ {
-		if _, err := p.Step(run, fGHz); err != nil {
+		if err := p.StepInto(run, fGHz, &probe); err != nil {
 			return fmt.Errorf("sim: warm-start probe: %w", err)
 		}
 		for c, pw := range p.cellPower {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
 )
 
 // BuildConfig describes a dataset-extraction campaign: fixed-frequency
@@ -114,13 +115,13 @@ func BuildContext(ctx context.Context, cfg BuildConfig) (*Dataset, error) {
 		if cfg.SensorIndex >= p.NumSensors() {
 			return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
 		}
-		trace, err := p.RunStatic(t.workload, t.freq, cfg.StepsPerRun)
-		if err != nil {
-			return nil, fmt.Errorf("telemetry: %s @ %g GHz: %w", t.workload, t.freq, err)
-		}
 		frag := NewDataset(FullFeatureNames())
-		if err := AppendTrace(frag, trace, t.workload, cfg.Horizon, cfg.SensorIndex); err != nil {
+		ap, err := NewDatasetAppender(frag, t.workload, cfg.Horizon, cfg.SensorIndex)
+		if err != nil {
 			return nil, err
+		}
+		if err := trace.RunStatic(p, t.workload, t.freq, cfg.StepsPerRun, ap); err != nil {
+			return nil, fmt.Errorf("telemetry: %s @ %g GHz: %w", t.workload, t.freq, err)
 		}
 		return frag, nil
 	})
@@ -136,25 +137,20 @@ func BuildContext(ctx context.Context, cfg BuildConfig) (*Dataset, error) {
 	return ds, nil
 }
 
-// AppendTrace converts one simulation trace into labelled instances and
-// appends them to ds. Instances within Horizon of the trace end are
-// dropped (their labels would be truncated).
-func AppendTrace(ds *Dataset, trace []sim.StepResult, workload string, horizon, sensorIndex int) error {
-	if horizon <= 0 {
-		return fmt.Errorf("telemetry: non-positive horizon")
+// AppendTrace converts one materialized simulation trace into labelled
+// instances and appends them to ds. Instances within Horizon of the
+// trace end are dropped (their labels would be truncated). It is the
+// compatibility wrapper over DatasetAppender for callers that already
+// hold a []sim.StepResult; streaming builds feed the appender from
+// trace.Drive directly.
+func AppendTrace(ds *Dataset, steps []sim.StepResult, workload string, horizon, sensorIndex int) error {
+	ap, err := NewDatasetAppender(ds, workload, horizon, sensorIndex)
+	if err != nil {
+		return err
 	}
-	for t := 0; t+horizon < len(trace); t++ {
-		r := &trace[t]
-		label := 0.0
-		for h := 1; h <= horizon; h++ {
-			if s := trace[t+h].Severity.Max; s > label {
-				label = s
-			}
-		}
-		x := Extract(r.Counters, r.SensorDelayed[sensorIndex])
-		if err := ds.Add(x, label, workload); err != nil {
-			return err
-		}
+	ap.Begin(trace.Meta{Steps: len(steps)})
+	for t := range steps {
+		ap.Observe(t, &steps[t])
 	}
-	return nil
+	return ap.End()
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/hotgauge/boreas/internal/rng"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
 	"github.com/hotgauge/boreas/internal/workload"
 )
 
@@ -148,59 +149,48 @@ func buildOneWalk(cfg WalkConfig, name string, walk int, ds *Dataset) error {
 	if cfg.SensorIndex >= p.NumSensors() {
 		return fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
 	}
+	// The whole frequency schedule depends only on the walk's rng stream,
+	// not on the simulation, so it is drawn up front (the draw sequence
+	// is identical to drawing at each hold boundary): holdFi[h] is the
+	// frequency bin of hold interval h = step / HoldSteps.
 	r := rng.New(runner.DeriveSeed(cfg.Seed, runner.HashString(name), uint64(walk), 1))
 	fi := r.Intn(len(cfg.Frequencies))
-	if err := p.WarmStart(w, cfg.Frequencies[fi]); err != nil {
+	numHolds := (cfg.StepsPerWalk + cfg.HoldSteps - 1) / cfg.HoldSteps
+	holdFi := make([]int, 0, numHolds)
+	holdFi = append(holdFi, fi)
+	for h := 1; h < numHolds; h++ {
+		// Random move of 1-2 bins, occasionally a long jump,
+		// bounded to the allowed range.
+		delta := 1 + r.Intn(2)
+		if r.Bernoulli(0.15) {
+			delta += 2
+		}
+		if r.Bernoulli(0.5) {
+			delta = -delta
+		}
+		fi += delta
+		if fi < 0 {
+			fi = 0
+		}
+		if fi >= len(cfg.Frequencies) {
+			fi = len(cfg.Frequencies) - 1
+		}
+		holdFi = append(holdFi, fi)
+	}
+	if err := p.WarmStart(w, cfg.Frequencies[holdFi[0]]); err != nil {
 		return err
 	}
 	run := w.NewRun(scfg.Seed)
 
-	trace := make([]sim.StepResult, 0, cfg.StepsPerWalk)
-	holds := make([]int, 0, cfg.StepsPerWalk) // hold-start index per step
-	holdStart := 0
-	for step := 0; step < cfg.StepsPerWalk; step++ {
-		if step > 0 && step%cfg.HoldSteps == 0 {
-			// Random move of 1-2 bins, occasionally a long jump,
-			// bounded to the allowed range.
-			delta := 1 + r.Intn(2)
-			if r.Bernoulli(0.15) {
-				delta += 2
-			}
-			if r.Bernoulli(0.5) {
-				delta = -delta
-			}
-			fi += delta
-			if fi < 0 {
-				fi = 0
-			}
-			if fi >= len(cfg.Frequencies) {
-				fi = len(cfg.Frequencies) - 1
-			}
-			holdStart = step
-		}
-		res, err := p.Step(run, cfg.Frequencies[fi])
-		if err != nil {
-			return err
-		}
-		trace = append(trace, res)
-		holds = append(holds, holdStart)
+	// Stream the walk: instances whose horizon crosses a hold boundary
+	// are suppressed by GroupOf, so each label is conditioned on one
+	// committed frequency.
+	ap, err := NewDatasetAppender(ds, name, cfg.Horizon, cfg.SensorIndex)
+	if err != nil {
+		return err
 	}
-
-	// Emit instances whose horizon stays within one hold.
-	for t := 0; t+cfg.Horizon < len(trace); t++ {
-		if holds[t+cfg.Horizon] != holds[t] {
-			continue
-		}
-		label := 0.0
-		for h := 1; h <= cfg.Horizon; h++ {
-			if s := trace[t+h].Severity.Max; s > label {
-				label = s
-			}
-		}
-		x := Extract(trace[t].Counters, trace[t].SensorDelayed[cfg.SensorIndex])
-		if err := ds.Add(x, label, name); err != nil {
-			return err
-		}
-	}
-	return nil
+	ap.GroupOf = func(step int) int { return step / cfg.HoldSteps }
+	return trace.Drive(p, run,
+		func(step int) float64 { return cfg.Frequencies[holdFi[step/cfg.HoldSteps]] },
+		cfg.StepsPerWalk, ap)
 }
