@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke bench-trace-smoke ci bench bench-parallel bench-trace clean
+.PHONY: all build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke ci bench bench-parallel bench-trace bench-gbt clean
 
 all: build
 
@@ -33,7 +33,12 @@ fuzz-smoke:
 bench-trace-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkRunStaticTrace -benchtime=1x -benchmem .
 
-ci: build vet test race fuzz-smoke bench-trace-smoke
+# One-iteration smoke of the trainer benchmark: exercises both the exact
+# and histogram-binned split searches end to end.
+bench-gbt-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkTrain$$' -benchtime=1x .
+
+ci: build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -45,6 +50,11 @@ bench-parallel:
 # Refresh BENCH_trace.json (materialized vs streaming RunStatic).
 bench-trace:
 	BENCH_TRACE=1 $(GO) test -run TestWriteBenchTraceArtefact -v .
+
+# Refresh BENCH_gbt.json (exact vs histogram-binned GBT training on the
+# full telemetry dataset).
+bench-gbt:
+	BENCH_GBT=1 $(GO) test -run TestWriteBenchGBTArtefact -timeout 60m -v .
 
 clean:
 	$(GO) clean ./...

@@ -206,6 +206,15 @@ type (
 	GBTModel = gbt.Model
 )
 
+// Split-search methods for GBTParams.Method. Exact scans every distinct
+// feature value; Hist pre-bins features into quantile histograms and is
+// much faster on large datasets. Both are bit-deterministic at any
+// worker count and share the same model format.
+const (
+	GBTMethodExact = gbt.MethodExact
+	GBTMethodHist  = gbt.MethodHist
+)
+
 // DefaultTrainConfig returns the paper's Table II training configuration.
 func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
 

@@ -99,12 +99,33 @@ func (p *Predictor) Predict(k arch.Counters, sensorTemp float64) float64 {
 	return p.model.Predict(p.features(k, sensorTemp))
 }
 
+// PredictChecked is Predict with the model's non-finite input screen: a
+// NaN or ±Inf anywhere in the extracted feature row (corrupted counters,
+// a dead sensor) is an error instead of a silently pinned tree routing.
+// This is the entry point controllers use to fail safe on faulty
+// telemetry, consistent with the control.GuardedController screens.
+func (p *Predictor) PredictChecked(k arch.Counters, sensorTemp float64) (float64, error) {
+	return p.model.PredictChecked(p.features(k, sensorTemp))
+}
+
 // PredictAt returns the what-if prediction for running the next interval
 // at newFreq instead of the frequency the counters were collected at:
 // count features are scaled by the frequency ratio (the behaviour of the
 // same phase at a different clock), rates and the sensor reading are
 // carried over, and the operating-point features are rewritten.
 func (p *Predictor) PredictAt(k arch.Counters, sensorTemp, newFreq float64) float64 {
+	return p.model.Predict(p.whatIfRow(k, sensorTemp, newFreq))
+}
+
+// PredictAtChecked is PredictAt with the non-finite input screen of
+// PredictChecked.
+func (p *Predictor) PredictAtChecked(k arch.Counters, sensorTemp, newFreq float64) (float64, error) {
+	return p.model.PredictChecked(p.whatIfRow(k, sensorTemp, newFreq))
+}
+
+// whatIfRow builds the what-if feature row for running the next interval
+// at newFreq.
+func (p *Predictor) whatIfRow(k arch.Counters, sensorTemp, newFreq float64) []float64 {
 	row := p.features(k, sensorTemp)
 	if k.FrequencyGHz > 0 && newFreq != k.FrequencyGHz {
 		ratio := newFreq / k.FrequencyGHz
@@ -120,7 +141,7 @@ func (p *Predictor) PredictAt(k arch.Counters, sensorTemp, newFreq float64) floa
 	if p.voltCol >= 0 {
 		row[p.voltCol] = power.VoltageFor(newFreq)
 	}
-	return p.model.Predict(row)
+	return row
 }
 
 // Controller is the Boreas frequency controller (§V-A): predict severity,
@@ -149,23 +170,29 @@ func (c *Controller) Name() string { return fmt.Sprintf("ML%02.0f", c.Guardband*
 // Reset implements control.Controller.
 func (c *Controller) Reset() {}
 
-// Decide implements control.Controller. A non-finite sensor reading
-// fails safe with a one-step throttle: NaN routes through every tree
-// comparison as "false" and would otherwise silently produce an
-// arbitrary (usually optimistic) severity estimate.
+// Decide implements control.Controller. Non-finite telemetry fails safe
+// with a one-step throttle: a NaN routes through every tree comparison
+// as "false" and would otherwise silently produce an arbitrary (usually
+// optimistic) severity estimate. The sensor screen catches the common
+// case before feature extraction; PredictChecked catches NaN/Inf smuggled
+// in through corrupted performance counters (the faults-campaign failure
+// modes), consistent with the control.GuardedController anomaly screens.
 func (c *Controller) Decide(obs control.Observation) float64 {
 	threshold := 1.0 - c.Guardband
 	cur := obs.CurrentFreq
 	if math.IsNaN(obs.SensorTemp) || math.IsInf(obs.SensorTemp, 0) {
 		return cur - power.FrequencyStepGHz
 	}
-	if c.Pred.Predict(obs.Counters, obs.SensorTemp) >= threshold {
+	sev, err := c.Pred.PredictChecked(obs.Counters, obs.SensorTemp)
+	if err != nil || sev >= threshold {
 		return cur - power.FrequencyStepGHz
 	}
 	next := cur + power.FrequencyStepGHz
-	if next <= power.MaxFrequencyGHz+1e-9 &&
-		c.Pred.PredictAt(obs.Counters, obs.SensorTemp, next) < threshold {
-		return next
+	if next <= power.MaxFrequencyGHz+1e-9 {
+		whatIf, err := c.Pred.PredictAtChecked(obs.Counters, obs.SensorTemp, next)
+		if err == nil && whatIf < threshold {
+			return next
+		}
 	}
 	return cur
 }

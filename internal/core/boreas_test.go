@@ -199,6 +199,64 @@ func TestControllerDecisionDirections(t *testing.T) {
 	}
 }
 
+// TestControllerNonFiniteCountersFailSafe: NaN/Inf smuggled in through
+// corrupted performance counters (not just the sensor) must produce the
+// one-step fail-safe throttle, never a silent pinned-routing prediction.
+func TestControllerNonFiniteCountersFailSafe(t *testing.T) {
+	ds := syntheticDataset(8, 3000)
+	pred, err := Train(ds, TrainConfig{Params: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(pred, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(mut func(*arch.Counters)) arch.Counters {
+		k := arch.Counters{FrequencyGHz: 3.0, Voltage: 1, TotalCycles: 240000,
+			BusyCycles: 144000, CommittedInstructions: 192000,
+			CdbALUAccesses: 12000, ALUDutyCycle: 0.05}
+		mut(&k)
+		return k
+	}
+	// Sanity: the clean cold observation climbs.
+	clean := control.Observation{Counters: mk(func(*arch.Counters) {}), SensorTemp: 48, CurrentFreq: 3.0}
+	if f := ctrl.Decide(clean); f <= 3.0 {
+		t.Fatalf("clean cold decision %v, want an upward step", f)
+	}
+	for name, mut := range map[string]func(*arch.Counters){
+		"nan-cdb-alu":    func(k *arch.Counters) { k.CdbALUAccesses = math.NaN() },
+		"inf-cycles":     func(k *arch.Counters) { k.TotalCycles = math.Inf(1) },
+		"nan-committed":  func(k *arch.Counters) { k.CommittedInstructions = math.NaN() },
+	} {
+		obs := control.Observation{Counters: mk(mut), SensorTemp: 48, CurrentFreq: 3.0}
+		if f := ctrl.Decide(obs); f >= 3.0 {
+			t.Errorf("%s: decision %v, want the fail-safe downward step", name, f)
+		}
+	}
+	// PredictChecked surfaces the error directly.
+	if _, err := pred.PredictChecked(mk(func(k *arch.Counters) { k.CdbALUAccesses = math.NaN() }), 48); err == nil {
+		t.Fatal("PredictChecked accepted NaN counters")
+	}
+	if _, err := pred.PredictAtChecked(mk(func(k *arch.Counters) { k.CdbALUAccesses = math.NaN() }), 48, 3.25); err == nil {
+		t.Fatal("PredictAtChecked accepted NaN counters")
+	}
+}
+
+// TestTrainPreservesMethodKnobs: defaulted hyper-parameters must not
+// wipe the run-time knobs (the histogram method in particular).
+func TestTrainPreservesMethodKnobs(t *testing.T) {
+	ds := syntheticDataset(9, 600)
+	pred, err := Train(ds, TrainConfig{Params: gbt.Params{Method: gbt.MethodHist, MaxBins: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pred.Model().Params
+	if p.NumTrees != 223 || p.Method != gbt.MethodHist || p.MaxBins != 64 {
+		t.Fatalf("method knobs lost when defaulting: %+v", p)
+	}
+}
+
 func TestMoreGuardbandNeverFaster(t *testing.T) {
 	// Property: for any observation, a larger guardband chooses a
 	// frequency no higher than a smaller one.

@@ -13,7 +13,10 @@ type TrainConfig struct {
 	// top-20 attributes.
 	Features []string
 	// Params are the GBT hyper-parameters; the zero value selects the
-	// paper's Table II configuration.
+	// paper's Table II configuration. The run-time knobs (Method, MaxBins,
+	// Workers) are honoured even when the hyper-parameters are defaulted,
+	// so selecting the histogram-binned trainer is just
+	// Params{Method: gbt.MethodHist}.
 	Params gbt.Params
 }
 
@@ -40,7 +43,9 @@ func Train(ds *telemetry.Dataset, cfg TrainConfig) (*Predictor, error) {
 		cfg.Features = telemetry.TableIVFeatureNames()
 	}
 	if cfg.Params.NumTrees == 0 {
+		method, bins, workers := cfg.Params.Method, cfg.Params.MaxBins, cfg.Params.Workers
 		cfg.Params = gbt.DefaultParams()
+		cfg.Params.Method, cfg.Params.MaxBins, cfg.Params.Workers = method, bins, workers
 	}
 	sel, err := ds.Select(cfg.Features)
 	if err != nil {

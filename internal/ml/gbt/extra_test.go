@@ -2,6 +2,7 @@ package gbt
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 )
@@ -88,6 +89,57 @@ func TestTreeDepthEmpty(t *testing.T) {
 	var tr Tree
 	if tr.Depth() != 0 {
 		t.Fatal("empty tree depth should be 0")
+	}
+}
+
+// TestPredictNonFinitePinned pins the documented routing of non-finite
+// inputs through the raw (unchecked) evaluator: NaN and +Inf route right,
+// -Inf routes left of any finite threshold.
+func TestPredictNonFinitePinned(t *testing.T) {
+	m := tinyModel()
+	// Tree 0 root splits f0 < 1.5: left leaf -0.125, right leaf 0.25.
+	leftVal := m.Base + (-0.125) + 0.0625
+	rightVal := m.Base + 0.25 + 0.0625
+	cases := []struct {
+		name string
+		f0   float64
+		want float64
+	}{
+		{"nan-routes-right", math.NaN(), rightVal},
+		{"plus-inf-routes-right", math.Inf(1), rightVal},
+		{"minus-inf-routes-left", math.Inf(-1), leftVal},
+	}
+	for _, tc := range cases {
+		if got := m.Predict([]float64{tc.f0, 0}); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPredictChecked(t *testing.T) {
+	m := tinyModel()
+	if _, err := m.PredictChecked([]float64{0, 0, 0}); err == nil {
+		t.Fatal("wrong-width row accepted")
+	}
+	for _, bad := range [][]float64{
+		{math.NaN(), 0},
+		{0, math.Inf(1)},
+		{math.Inf(-1), 0},
+	} {
+		_, err := m.PredictChecked(bad)
+		if err == nil {
+			t.Fatalf("non-finite row %v accepted", bad)
+		}
+		if !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("error for %v should wrap ErrNonFinite, got %v", bad, err)
+		}
+	}
+	got, err := m.PredictChecked([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m.Predict([]float64{0, 0}) {
+		t.Fatal("checked and unchecked predictions disagree on finite input")
 	}
 }
 

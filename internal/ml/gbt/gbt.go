@@ -10,11 +10,26 @@ package gbt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"github.com/hotgauge/boreas/internal/runner"
+)
+
+// Training methods selectable via Params.Method.
+const (
+	// MethodExact is the exact greedy split search: every boundary
+	// between adjacent distinct feature values in a node is a split
+	// candidate. This is the reference scanner and the default.
+	MethodExact = "exact"
+	// MethodHist is the histogram-binned split search: each feature is
+	// pre-binned once into at most MaxBins quantile bins and split
+	// candidates are the bin boundaries. Much faster on large datasets,
+	// bit-deterministic at any worker count, and within a small accuracy
+	// tolerance of the exact scanner (see hist.go).
+	MethodHist = "hist"
 )
 
 // Params are the training hyper-parameters (Table II vocabulary).
@@ -47,6 +62,15 @@ type Params struct {
 	// feature order. Workers is a run-time knob, not a model property,
 	// and is not serialised.
 	Workers int
+	// Method selects the split search: MethodExact ("" or "exact", the
+	// default) or MethodHist ("hist"). Like Workers it is a training-time
+	// knob, not a model property, and is not serialised: both methods
+	// produce the same Tree/Model representation.
+	Method string
+	// MaxBins bounds the per-feature quantile bins used by MethodHist;
+	// 0 means 256. Must be in [2, 256] (bins are stored as uint8).
+	// Ignored by MethodExact.
+	MaxBins int
 }
 
 // DefaultParams returns the paper's chosen configuration (Table II):
@@ -79,7 +103,37 @@ func (p Params) Validate() error {
 	if p.SafetyWeight < 0 {
 		return fmt.Errorf("gbt: negative safety weight")
 	}
+	switch p.Method {
+	case "", MethodExact, MethodHist:
+	default:
+		return fmt.Errorf("gbt: unknown method %q (want %q or %q)", p.Method, MethodExact, MethodHist)
+	}
+	if p.MaxBins != 0 && (p.MaxBins < 2 || p.MaxBins > 256) {
+		return fmt.Errorf("gbt: MaxBins %d outside [2,256]", p.MaxBins)
+	}
 	return nil
+}
+
+// method normalises the empty Method to MethodExact.
+func (p Params) method() string {
+	if p.Method == "" {
+		return MethodExact
+	}
+	return p.Method
+}
+
+// maxBins normalises the zero MaxBins to 256.
+func (p Params) maxBins() int {
+	if p.MaxBins == 0 {
+		return 256
+	}
+	return p.MaxBins
+}
+
+// leafValue converts node gradient/hessian aggregates into the (shrunk)
+// newton-step leaf weight. Shared by both split-search methods.
+func (p Params) leafValue(g, h float64) float64 {
+	return p.LearningRate * g / (h + p.Lambda)
 }
 
 // Node is one tree node. Leaves have Feature == -1 and carry Value;
@@ -99,6 +153,13 @@ type Tree struct {
 }
 
 // Predict routes one row to a leaf and returns its (already shrunk) value.
+//
+// Non-finite inputs are pinned, not rejected: a comparison with a NaN
+// operand is false, so a NaN feature always routes to the Right child;
+// +Inf routes Right and -Inf routes Left of any finite threshold. This
+// keeps the hot inference loop branch-free. Callers that must not
+// silently evaluate garbage telemetry use Model.PredictChecked, which
+// screens the row first.
 func (t *Tree) Predict(x []float64) float64 {
 	i := int32(0)
 	for {
@@ -152,6 +213,27 @@ func (m *Model) Predict(x []float64) float64 {
 	return s
 }
 
+// ErrNonFinite is wrapped by PredictChecked when a feature value is NaN
+// or ±Inf. Detect it with errors.Is.
+var ErrNonFinite = errors.New("gbt: non-finite feature value")
+
+// PredictChecked is Predict with input screening: it rejects rows of the
+// wrong width and rows containing NaN or ±Inf instead of silently
+// routing them through the pinned comparison semantics documented on
+// Tree.Predict. Controllers use it as the fail-safe entry point when the
+// telemetry source may be faulty.
+func (m *Model) PredictChecked(x []float64) (float64, error) {
+	if len(x) != len(m.FeatureNames) {
+		return 0, fmt.Errorf("gbt: row has %d features, model wants %d", len(x), len(m.FeatureNames))
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: feature %d (%s) = %v", ErrNonFinite, i, m.FeatureNames[i], v)
+		}
+	}
+	return m.Predict(x), nil
+}
+
 // PredictAll evaluates the ensemble on many rows.
 func (m *Model) PredictAll(x [][]float64) []float64 {
 	out := make([]float64, len(x))
@@ -174,6 +256,13 @@ func (m *Model) MSE(x [][]float64, y []float64) float64 {
 	return s / float64(len(x))
 }
 
+// treeBuilder grows one regression tree from the current gradient and
+// hessian vectors. Both split-search methods implement it over the same
+// shared grad/hess slices, so the boosting loop in Train is method-blind.
+type treeBuilder interface {
+	buildTree() Tree
+}
+
 // trainer holds the level-wise exact-greedy split machinery.
 type trainer struct {
 	p        Params
@@ -183,6 +272,27 @@ type trainer struct {
 	sorted   [][]int32 // per feature: instance indices sorted by value
 	nodeOf   []int32   // current tree-node id of each instance (-1: settled in a leaf)
 	nFeature int
+}
+
+// newExactTrainer presorts every feature column and returns the exact
+// greedy split searcher. The per-feature presort is independent per
+// feature; it fans across the pool. Each slot is written only by its own
+// task, so the result is identical at any worker count.
+func newExactTrainer(x [][]float64, grad, hess []float64, p Params) *trainer {
+	n, d := len(x), len(x[0])
+	tr := &trainer{p: p, x: x, grad: grad, hess: hess, nFeature: d}
+	tr.nodeOf = make([]int32, n)
+	tr.sorted = make([][]int32, d)
+	_ = runner.ForEach(context.Background(), p.Workers, d, func(_ context.Context, f int) error {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.Slice(idx, func(a, b int) bool { return x[idx[a]][f] < x[idx[b]][f] })
+		tr.sorted[f] = idx
+		return nil
+	})
+	return tr
 }
 
 // Train fits a boosted ensemble to x (n rows, d features) and y.
@@ -218,23 +328,15 @@ func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model,
 	}
 	base /= float64(n)
 
-	tr := &trainer{p: p, x: x, nFeature: d}
-	tr.grad = make([]float64, n)
-	tr.hess = make([]float64, n)
-	tr.nodeOf = make([]int32, n)
-	tr.sorted = make([][]int32, d)
-	// The per-feature presort is independent per feature; fan it across
-	// the pool. Each slot is written only by its own task, so the result
-	// is identical at any worker count.
-	_ = runner.ForEach(context.Background(), p.Workers, d, func(_ context.Context, f int) error {
-		idx := make([]int32, n)
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		sort.Slice(idx, func(a, b int) bool { return x[idx[a]][f] < x[idx[b]][f] })
-		tr.sorted[f] = idx
-		return nil
-	})
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	var builder treeBuilder
+	switch p.method() {
+	case MethodHist:
+		builder = newHistTrainer(x, grad, hess, p)
+	default:
+		builder = newExactTrainer(x, grad, hess, p)
+	}
 
 	pred := make([]float64, n)
 	for i := range pred {
@@ -247,7 +349,7 @@ func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model,
 		safety = 1
 	}
 	for t := 0; t < p.NumTrees; t++ {
-		for i := range tr.grad {
+		for i := range grad {
 			g := pred[i] - y[i]
 			h := 1.0
 			if g < 0 {
@@ -255,10 +357,10 @@ func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model,
 				g *= safety
 				h = safety
 			}
-			tr.grad[i] = g
-			tr.hess[i] = h
+			grad[i] = g
+			hess[i] = h
 		}
-		tree := tr.buildTree()
+		tree := builder.buildTree()
 		m.Trees = append(m.Trees, tree)
 		for i := range pred {
 			pred[i] += tree.Predict(x[i])
@@ -434,5 +536,5 @@ func (tr *trainer) scanFeature(f int, pos map[int32]int, gTot, hTot []float64) [
 
 // grad2leaf converts node aggregates into the (shrunk) leaf weight.
 func (tr *trainer) grad2leaf(g, h float64) float64 {
-	return tr.p.LearningRate * g / (h + tr.p.Lambda)
+	return tr.p.leafValue(g, h)
 }

@@ -9,10 +9,18 @@ import (
 	"math"
 )
 
-// Binary model format: a compact little-endian encoding with 32-bit
-// thresholds/values, matching the paper's hardware-cost assumption of one
-// 32-bit word per node.
-const magic = 0x42475431 // "BGT1"
+// Binary model format: a compact little-endian encoding. Version 1
+// stored thresholds, leaf values and gains as float32, which truncated
+// the float64 the trainer produced — a reloaded model could route a
+// sample across a threshold differently than the model that was
+// evaluated in the lab. Version 2 stores all three as float64, so
+// save→load is bit-exact; version 1 files remain readable. (The paper's
+// hardware-cost accounting of one 32-bit word per node lives in
+// WeightBytes and is unaffected by the file format.)
+const (
+	magicV1 = 0x42475431 // "BGT1": legacy float32 node payload, read-only
+	magicV2 = 0x42475432 // "BGT2": float64 node payload, written by WriteTo
+)
 
 // WriteTo serialises the model.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
@@ -25,7 +33,7 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 		n += int64(binary.Size(v))
 		return nil
 	}
-	if err := put(uint32(magic)); err != nil {
+	if err := put(uint32(magicV2)); err != nil {
 		return n, err
 	}
 	hdr := []uint32{uint32(m.Params.NumTrees), uint32(m.Params.MaxDepth), uint32(len(m.FeatureNames)), uint32(len(m.Trees))}
@@ -63,13 +71,13 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 			if err := put(nd.Right); err != nil {
 				return n, err
 			}
-			if err := put(float32(nd.Threshold)); err != nil {
+			if err := put(nd.Threshold); err != nil {
 				return n, err
 			}
-			if err := put(float32(nd.Value)); err != nil {
+			if err := put(nd.Value); err != nil {
 				return n, err
 			}
-			if err := put(float32(nd.Gain)); err != nil {
+			if err := put(nd.Gain); err != nil {
 				return n, err
 			}
 		}
@@ -95,9 +103,10 @@ func Read(r io.Reader) (*Model, error) {
 	if err := get(&mg); err != nil {
 		return nil, fmt.Errorf("gbt: reading magic: %w", err)
 	}
-	if mg != magic {
+	if mg != magicV1 && mg != magicV2 {
 		return nil, fmt.Errorf("gbt: bad magic %#x", mg)
 	}
+	legacy32 := mg == magicV1
 	var numTrees, maxDepth, numFeat, treeCount uint32
 	for _, p := range []*uint32{&numTrees, &maxDepth, &numFeat, &treeCount} {
 		if err := get(p); err != nil {
@@ -145,7 +154,6 @@ func Read(r io.Reader) (*Model, error) {
 		}
 		nodes := make([]Node, nn)
 		for i := range nodes {
-			var th, val, gain float32
 			if err := get(&nodes[i].Feature); err != nil {
 				return nil, err
 			}
@@ -155,18 +163,31 @@ func Read(r io.Reader) (*Model, error) {
 			if err := get(&nodes[i].Right); err != nil {
 				return nil, err
 			}
-			if err := get(&th); err != nil {
-				return nil, err
+			if legacy32 {
+				var th, val, gain float32
+				if err := get(&th); err != nil {
+					return nil, err
+				}
+				if err := get(&val); err != nil {
+					return nil, err
+				}
+				if err := get(&gain); err != nil {
+					return nil, err
+				}
+				nodes[i].Threshold = float64(th)
+				nodes[i].Value = float64(val)
+				nodes[i].Gain = float64(gain)
+			} else {
+				if err := get(&nodes[i].Threshold); err != nil {
+					return nil, err
+				}
+				if err := get(&nodes[i].Value); err != nil {
+					return nil, err
+				}
+				if err := get(&nodes[i].Gain); err != nil {
+					return nil, err
+				}
 			}
-			if err := get(&val); err != nil {
-				return nil, err
-			}
-			if err := get(&gain); err != nil {
-				return nil, err
-			}
-			nodes[i].Threshold = float64(th)
-			nodes[i].Value = float64(val)
-			nodes[i].Gain = float64(gain)
 			if nodes[i].Feature >= 0 {
 				// Trees are stored breadth-first, so a legitimate child
 				// always sits after its parent; requiring strictly
