@@ -1,16 +1,24 @@
 # Boreas reproduction - build and verification targets.
 #
-# `make ci` is the expanded tier-1 gate: build, vet, tests, the race
-# detector over every package (the execution engine makes the campaign
-# layers concurrent, so the race detector is part of the gate), and a
-# short fuzz smoke over the model deserializer (the one parser that eats
-# externally supplied bytes).
+# `make ci` is the expanded tier-1 gate: formatting, build, vet, tests,
+# the race detector over every package (the execution engine makes the
+# campaign layers concurrent, so the race detector is part of the gate),
+# a short fuzz smoke over the model deserializer (the one parser that
+# eats externally supplied bytes), and an end-to-end smoke that builds
+# every example and pushes a platform scenario file through each CLI.
 
 GO ?= go
+GOFMT ?= gofmt
+SCENARIO := examples/platforms/mobile-7nm.json
 
-.PHONY: all build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke ci bench bench-parallel bench-trace bench-gbt clean
+.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke ci bench bench-parallel bench-trace bench-gbt clean
 
 all: build
+
+# Fail if any file needs gofmt (prints the offenders).
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -21,8 +29,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiments suite under the race detector sits right at Go's
+# default 10-minute per-package timeout on small machines; raise it so
+# the gate measures races, not scheduling luck.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # 10-second fuzz smoke: LoadModel must never panic on arbitrary bytes.
 fuzz-smoke:
@@ -38,7 +49,20 @@ bench-trace-smoke:
 bench-gbt-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkTrain$$' -benchtime=1x .
 
-ci: build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke
+# End-to-end smoke: every example builds, the quickstart runs, and each
+# CLI accepts a scenario file via -platform (trace dump, dataset
+# extraction + a platform-checked training run, and one quick experiment).
+smoke:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart > /dev/null
+	$(GO) run ./cmd/hotgauge -platform $(SCENARIO) -mode trace -workload gromacs -freq 4.0 -steps 20 -o /dev/null
+	$(GO) run ./cmd/hotgauge -platform $(SCENARIO) -mode dataset -set test -steps 72 -o smoke_dataset.csv
+	$(GO) run ./cmd/trainer -data smoke_dataset.csv -platform $(SCENARIO) -trees 5 > /dev/null
+	rm -f smoke_dataset.csv
+	$(GO) run ./cmd/boreas -platform $(SCENARIO) -quick -experiment table1 > /dev/null
+	$(GO) run ./cmd/boreas -quick -experiment table1 > /dev/null
+
+ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

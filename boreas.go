@@ -40,6 +40,7 @@ import (
 	"github.com/hotgauge/boreas/internal/faults"
 	"github.com/hotgauge/boreas/internal/hotspot"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/power"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
@@ -61,6 +62,48 @@ func DefaultWorkers() int { return runner.DefaultWorkers() }
 // DeriveSeed deterministically mixes a base seed with task coordinates,
 // so each task's randomness is independent of scheduling order.
 func DeriveSeed(base uint64, parts ...uint64) uint64 { return runner.DeriveSeed(base, parts...) }
+
+// Platforms: the typed, validated bundle of everything that defines one
+// simulated chip and its campaign inputs (floorplan, thermal and power
+// configuration, VF curve, core model, severity calibration, sensors,
+// workload catalogue and train/test split). Platforms serialise to JSON
+// scenario files that round-trip bit-identically, and a process-wide
+// registry maps names to builders. All three CLIs take -platform.
+type (
+	// Platform is one complete simulated-chip scenario.
+	Platform = platform.Platform
+	// VFCurve is a voltage/frequency operating curve.
+	VFCurve = power.VFCurve
+	// WorkloadSet is a workload catalogue with a train/test split.
+	WorkloadSet = workload.Set
+)
+
+// ErrUnknownPlatform is wrapped by PlatformByName/ResolvePlatform for
+// names missing from the registry; test with errors.Is.
+var ErrUnknownPlatform = platform.ErrUnknown
+
+// DefaultPlatform returns the paper's Skylake-class 7 nm setup; it
+// reproduces DefaultSimConfig and friends bit-identically.
+func DefaultPlatform() *Platform { return platform.Default() }
+
+// PlatformByName builds a registered platform ("skylake-7nm",
+// "mobile-7nm", "server-7nm-hires", plus anything RegisterPlatform added).
+func PlatformByName(name string) (*Platform, error) { return platform.ByName(name) }
+
+// PlatformNames lists the registered platforms, sorted.
+func PlatformNames() []string { return platform.Names() }
+
+// RegisterPlatform adds a named platform builder to the registry.
+func RegisterPlatform(name string, build func() *Platform) error {
+	return platform.Register(name, build)
+}
+
+// LoadPlatformFile reads and fully validates a JSON scenario file.
+func LoadPlatformFile(path string) (*Platform, error) { return platform.LoadFile(path) }
+
+// ResolvePlatform turns a -platform style argument into a Platform: a
+// .json path loads a scenario file, anything else is a registry lookup.
+func ResolvePlatform(nameOrPath string) (*Platform, error) { return platform.Resolve(nameOrPath) }
 
 // Simulation pipeline (the HotGauge-equivalent substrate).
 type (
@@ -352,8 +395,21 @@ func FaultGrid(l *Lab, cfg FaultGridConfig) (*FaultGridResult, error) {
 	return experiments.FaultGrid(l, cfg)
 }
 
-// DefaultExperimentConfig is the paper-scale campaign.
+// DefaultExperimentConfig is the paper-scale campaign on the default
+// platform.
 func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// ExperimentConfigForPlatform derives a paper-scale campaign from a
+// platform's own VF curve, split and sensors.
+func ExperimentConfigForPlatform(pf *Platform) ExperimentConfig {
+	return experiments.ConfigForPlatform(pf)
+}
+
+// QuickenExperimentConfig shrinks a campaign for fast iteration on any
+// platform (QuickExperimentConfig is its default-platform counterpart).
+func QuickenExperimentConfig(cfg ExperimentConfig) ExperimentConfig {
+	return experiments.QuickenForPlatform(cfg)
+}
 
 // QuickExperimentConfig is a reduced campaign for fast iteration.
 func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }

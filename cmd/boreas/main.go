@@ -5,6 +5,8 @@
 //	boreas -quick -experiment fig2  # reduced campaign for fast iteration
 //	boreas -experiment fig8 -out ./traces   # also write per-run CSVs
 //	boreas -quick -experiment faults        # controllers under injected telemetry faults
+//	boreas -platform mobile-7nm -quick -experiment fig7      # on a registered variant
+//	boreas -platform scenario.json -experiment fig2          # on a scenario file
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"github.com/hotgauge/boreas/internal/experiments"
 	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/runner"
 )
 
@@ -34,15 +37,35 @@ func main() {
 		quick   = flag.Bool("quick", false, "use the reduced campaign (seconds instead of minutes)")
 		out     = flag.String("out", "", "directory for CSV artefacts (fig5/fig8 traces); empty disables")
 		workers = flag.Int("j", runner.DefaultWorkers(), "campaign parallelism (simulation runs in flight); results are identical at any -j")
+		pfArg   = flag.String("platform", "skylake-7nm", "platform: a registered name ("+strings.Join(platform.Names(), ", ")+") or a scenario .json file")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The default platform keeps the historical DefaultConfig/QuickConfig
+	// campaigns (QuickConfig additionally coarsens the thermal grid, which
+	// is a campaign choice, not a platform property). Any other platform
+	// derives its campaign from the scenario itself.
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
+	}
+	if *pfArg != "skylake-7nm" {
+		pf, err := platform.Resolve(*pfArg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = experiments.ConfigForPlatform(pf)
+		if *quick {
+			cfg = experiments.QuickenForPlatform(cfg)
+		}
+		fmt.Printf("boreas: platform %s", pf.Name)
+		if pf.Description != "" {
+			fmt.Printf(" (%s)", pf.Description)
+		}
+		fmt.Println()
 	}
 	cfg.Workers = *workers
 	fmt.Printf("boreas: running with -j %d\n\n", runner.Normalize(*workers))

@@ -5,6 +5,8 @@
 //	hotgauge -mode trace -workload gromacs -freq 4.5 -steps 150
 //	hotgauge -mode dataset -set train -o train.csv
 //	hotgauge -mode walk -set train -o walk.csv
+//	hotgauge -platform mobile-7nm -mode trace -workload gromacs -freq 4.0
+//	hotgauge -platform examples/platforms/mobile-7nm.json -mode dataset -set train
 package main
 
 import (
@@ -13,12 +15,11 @@ import (
 	"os"
 	"time"
 
-	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
 	"github.com/hotgauge/boreas/internal/trace"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 func main() {
@@ -30,8 +31,14 @@ func main() {
 		set     = flag.String("set", "train", "workload set: train | test | all (dataset/walk modes)")
 		out     = flag.String("o", "", "output file (default stdout)")
 		workers = flag.Int("j", runner.DefaultWorkers(), "simulation runs in flight (dataset/walk modes); output is byte-identical at any -j")
+		pfArg   = flag.String("platform", "skylake-7nm", "platform: a registered name or a scenario .json file")
 	)
 	flag.Parse()
+
+	pf, err := platform.Resolve(*pfArg)
+	if err != nil {
+		fatal(err)
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -45,15 +52,17 @@ func main() {
 
 	switch *mode {
 	case "trace":
-		if err := dumpTrace(w, *wl, *freq, *steps); err != nil {
+		if err := dumpTrace(w, pf, *wl, *freq, *steps); err != nil {
 			fatal(err)
 		}
 	case "dataset":
-		names, err := setNames(*set)
+		names, err := setNames(pf, *set)
 		if err != nil {
 			fatal(err)
 		}
-		cfg := telemetry.DefaultBuildConfig(names, power.FrequencySteps())
+		cfg := telemetry.DefaultBuildConfig(names, pf.VF.FrequencySteps())
+		cfg.Sim = pf.SimConfig()
+		cfg.SensorIndex = pf.SensorIndex
 		cfg.StepsPerRun = *steps
 		cfg.Workers = *workers
 		t0 := time.Now()
@@ -67,11 +76,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances in %.1fs (-j %d)\n",
 			ds.Len(), time.Since(t0).Seconds(), runner.Normalize(*workers))
 	case "walk":
-		names, err := setNames(*set)
+		names, err := setNames(pf, *set)
 		if err != nil {
 			fatal(err)
 		}
-		cfg := telemetry.DefaultWalkConfig(names, power.FrequencySteps())
+		cfg := telemetry.DefaultWalkConfig(names, pf.VF.FrequencySteps())
+		cfg.Sim = pf.SimConfig()
+		cfg.SensorIndex = pf.SensorIndex
 		cfg.Workers = *workers
 		t0 := time.Now()
 		ds, err := telemetry.BuildWalk(cfg)
@@ -88,32 +99,32 @@ func main() {
 	}
 }
 
-func setNames(set string) ([]string, error) {
+func setNames(pf *platform.Platform, set string) ([]string, error) {
 	switch set {
 	case "train":
-		return workload.TrainNames, nil
+		return pf.Workloads.TrainNames(), nil
 	case "test":
-		return workload.TestNames, nil
+		return pf.Workloads.TestNames(), nil
 	case "all":
-		return append(append([]string{}, workload.TrainNames...), workload.TestNames...), nil
+		return append(pf.Workloads.TrainNames(), pf.Workloads.TestNames()...), nil
 	}
 	return nil, fmt.Errorf("unknown set %q (train|test|all)", set)
 }
 
-func dumpTrace(w *os.File, name string, freq float64, steps int) error {
-	p, err := sim.New(sim.DefaultConfig())
+func dumpTrace(w *os.File, pf *platform.Platform, name string, freq float64, steps int) error {
+	p, err := sim.New(pf.SimConfig())
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "time_ms,freq_ghz,voltage,power_w,max_temp,max_mltd,severity,sensor_tsens03,ipc")
+	fmt.Fprintln(w, "time_ms,freq_ghz,voltage,power_w,max_temp,max_mltd,severity,sensor,ipc")
 	// Stream each row straight from the drive loop: nothing is buffered,
 	// so the dump works at any trace length in constant memory.
-	return trace.RunStatic(p, name, power.ClampFrequency(freq), steps,
+	return trace.RunStatic(p, name, pf.VF.ClampFrequency(freq), steps,
 		trace.ObserverFunc(func(step int, r *sim.StepResult) {
 			fmt.Fprintf(w, "%.3f,%.2f,%.3f,%.2f,%.2f,%.2f,%.4f,%.2f,%.3f\n",
 				r.Time*1e3, r.FrequencyGHz, r.Voltage, r.TotalPower,
 				r.Severity.MaxTemp, r.Severity.MaxMLTD, r.Severity.Max,
-				r.SensorDelayed[sim.DefaultSensorIndex], r.Counters.IPC())
+				r.SensorDelayed[pf.SensorIndex], r.Counters.IPC())
 		}))
 }
 

@@ -6,6 +6,12 @@
 //	trainer -data train.csv -test test.csv -gridsearch
 //	trainer -data train.csv -method hist -j 4 -model boreas.gbt
 //	trainer -model boreas.gbt -inspect
+//	trainer -data train.csv -platform mobile-7nm -model mobile.gbt
+//
+// -platform cross-checks the dataset against a platform scenario (a
+// registered name or a .json file): every workload in the CSV must exist
+// in that platform's catalogue, catching train/deploy mismatches before
+// a model is fitted for the wrong chip.
 //
 // -method selects the split search: "exact" scans every distinct value
 // (the default), "hist" pre-bins features into at most -bins quantile
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/telemetry"
 )
@@ -40,6 +47,7 @@ func main() {
 		method  = flag.String("method", gbt.MethodExact, `split search: "exact" (full scan) or "hist" (histogram-binned fast path)`)
 		bins    = flag.Int("bins", 0, "histogram bin budget for -method hist (0 = 256)")
 		workers = flag.Int("j", runner.DefaultWorkers(), "split-search parallelism; the trained model is identical at any -j")
+		pfArg   = flag.String("platform", "", "optional platform (registered name or scenario .json) to cross-check the dataset's workloads against")
 	)
 	flag.Parse()
 
@@ -77,6 +85,16 @@ func main() {
 	ds, err := readCSV(*data)
 	if err != nil {
 		fatal(err)
+	}
+	if *pfArg != "" {
+		pf, err := platform.Resolve(*pfArg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkWorkloads(pf, ds); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dataset matches platform %s\n", pf.Name)
 	}
 	features := telemetry.TableIVFeatureNames()
 	if *allFeat {
@@ -145,6 +163,22 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d bytes; hardware weight budget %d bytes)\n", *model, n, m.WeightBytes())
 	}
+}
+
+// checkWorkloads verifies every workload name in the dataset exists in
+// the platform's catalogue.
+func checkWorkloads(pf *platform.Platform, ds *telemetry.Dataset) error {
+	seen := map[string]bool{}
+	for _, name := range ds.Workloads {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if _, err := pf.Workloads.ByName(name); err != nil {
+			return fmt.Errorf("dataset was not built for platform %s: %w", pf.Name, err)
+		}
+	}
+	return nil
 }
 
 func readCSV(path string) (*telemetry.Dataset, error) {

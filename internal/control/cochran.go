@@ -25,6 +25,10 @@ type CochranReda struct {
 	Headroom float64
 	// Margin is the calibrated safety guardband (C), shared with TH-00.
 	Margin float64
+	// VF is the operating curve the controller steps along and the
+	// regression buckets are sized for. The zero value selects the default
+	// Table I curve.
+	VF power.VFCurve
 
 	pcaModel *pca.Model
 	phases   [][]float64 // k-means centroids in PC space
@@ -42,6 +46,17 @@ type CochranConfig struct {
 	Phases     int
 	Ridge      float64
 	Seed       uint64
+	// VF is the operating curve the per-frequency regression buckets are
+	// laid out over. The zero value selects the default Table I curve.
+	VF power.VFCurve
+}
+
+// vf resolves the config's operating curve.
+func (c CochranConfig) vf() power.VFCurve {
+	if c.VF.IsZero() {
+		return power.DefaultVF()
+	}
+	return c.VF
 }
 
 // DefaultCochranConfig mirrors the scale used in the original paper.
@@ -92,7 +107,8 @@ func TrainCochranReda(ds *telemetry.Dataset, table *CriticalTemps, relax float64
 		return nil, fmt.Errorf("control: cochran k-means: %w", err)
 	}
 
-	steps := power.FrequencySteps()
+	vf := cfg.vf()
+	steps := vf.FrequencySteps()
 	type bucket struct {
 		x [][]float64
 		y []float64
@@ -108,7 +124,7 @@ func TrainCochranReda(ds *telemetry.Dataset, table *CriticalTemps, relax float64
 			continue
 		}
 		f := ds.X[r][freqIdx]
-		fi, err := power.FrequencyIndex(f)
+		fi, err := vf.FrequencyIndex(f)
 		if err != nil || ds.X[r+1][freqIdx] != f {
 			continue
 		}
@@ -122,6 +138,7 @@ func TrainCochranReda(ds *telemetry.Dataset, table *CriticalTemps, relax float64
 		Table:      table,
 		Relax:      relax,
 		Headroom:   2,
+		VF:         cfg.VF,
 		pcaModel:   pm,
 		phases:     km.Centroids,
 		featureIdx: featureIdx,
@@ -154,8 +171,15 @@ func (c *CochranReda) Reset() {}
 // predictTemp returns the model's future-temperature prediction at the
 // given frequency, falling back to the current reading when no regression
 // is available for the (phase, frequency) cell.
+func (c *CochranReda) vf() power.VFCurve {
+	if c.VF.IsZero() {
+		return power.DefaultVF()
+	}
+	return c.VF
+}
+
 func (c *CochranReda) predictTemp(obs Observation, fGHz float64) float64 {
-	fi, err := power.FrequencyIndex(fGHz)
+	fi, err := c.vf().FrequencyIndex(fGHz)
 	if err != nil {
 		return obs.SensorTemp
 	}
@@ -176,12 +200,13 @@ func (c *CochranReda) predictTemp(obs Observation, fGHz float64) float64 {
 // Decide implements Controller with the same threshold policy as the TH
 // family, but driven by predicted rather than current temperature.
 func (c *CochranReda) Decide(obs Observation) float64 {
+	vf := c.vf()
 	cur := obs.CurrentFreq
 	if c.predictTemp(obs, cur) >= c.Table.GlobalAt(cur)+c.Relax-c.Margin {
-		return cur - power.FrequencyStepGHz
+		return cur - vf.StepGHz
 	}
-	next := cur + power.FrequencyStepGHz
-	if next <= power.MaxFrequencyGHz+1e-9 {
+	next := cur + vf.StepGHz
+	if next <= vf.MaxGHz()+1e-9 {
 		if c.predictTemp(obs, next) < c.Table.GlobalAt(next)+c.Relax-c.Margin-c.Headroom {
 			return next
 		}

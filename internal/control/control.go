@@ -88,6 +88,11 @@ type LoopConfig struct {
 	// controller observes at each decision point. The recorded trace
 	// keeps the clean counters; only the controller is lied to.
 	CounterTap CounterTap
+	// VF is the operating curve StartFreq is validated against and
+	// controller decisions are clamped with. The zero value means "the
+	// pipeline's curve": RunLoop fills it from the pipeline, so only
+	// standalone Validate calls fall back to the default Table I curve.
+	VF power.VFCurve
 }
 
 // DefaultLoopConfig matches the paper's dynamic runs: 150 steps, decisions
@@ -106,8 +111,12 @@ func (c LoopConfig) Validate() error {
 	if c.Steps <= 0 || c.DecisionPeriod <= 0 || c.DecisionPeriod > c.Steps {
 		return fmt.Errorf("control: need 0 < period <= steps, got %d/%d", c.DecisionPeriod, c.Steps)
 	}
-	if _, err := power.FrequencyIndex(c.StartFreq); err != nil {
-		return err
+	vf := c.VF
+	if vf.IsZero() {
+		vf = power.DefaultVF()
+	}
+	if _, err := vf.FrequencyIndex(c.StartFreq); err != nil {
+		return fmt.Errorf("control: StartFreq: %w", err)
 	}
 	if c.SensorIndex < 0 {
 		return fmt.Errorf("control: negative sensor index")
@@ -144,6 +153,7 @@ type LoopResult struct {
 // the Counters struct), per the trace.Observer contract.
 type loopObserver struct {
 	cfg  LoopConfig
+	vf   power.VFCurve
 	ctrl Controller
 	res  *LoopResult
 	freq float64
@@ -169,7 +179,7 @@ func (o *loopObserver) Observe(step int, r *sim.StepResult) {
 		if o.cfg.CounterTap != nil {
 			o.cfg.CounterTap.Apply(step, &obs.Counters)
 		}
-		o.freq = power.ClampFrequency(o.ctrl.Decide(obs))
+		o.freq = o.vf.ClampFrequency(o.ctrl.Decide(obs))
 	}
 }
 
@@ -179,6 +189,9 @@ func (o *loopObserver) End() error { return nil }
 // The pipeline is warm-started at the starting frequency. The run streams
 // through trace.Drive — no intermediate []sim.StepResult is materialized.
 func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl Controller, cfg LoopConfig) (*LoopResult, error) {
+	if cfg.VF.IsZero() {
+		cfg.VF = p.VF()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,7 +221,7 @@ func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl Controller, cfg LoopCon
 		Severity:   make([]float64, 0, cfg.Steps),
 		SensorTemp: make([]float64, 0, cfg.Steps),
 	}
-	lo := &loopObserver{cfg: cfg, ctrl: ctrl, res: res, freq: cfg.StartFreq}
+	lo := &loopObserver{cfg: cfg, vf: cfg.VF, ctrl: ctrl, res: res, freq: cfg.StartFreq}
 	if err := trace.Drive(p, run, func(int) float64 { return lo.freq }, cfg.Steps, lo); err != nil {
 		return nil, err
 	}

@@ -55,6 +55,17 @@ type GuardConfig struct {
 	SaturationStreak int
 	// CapFreq is the watchdog's hard cap (GHz).
 	CapFreq float64
+	// VF is the operating curve decisions are clamped with and CapFreq is
+	// validated against. The zero value selects the default Table I curve.
+	VF power.VFCurve
+}
+
+// vf resolves the config's operating curve.
+func (c GuardConfig) vf() power.VFCurve {
+	if c.VF.IsZero() {
+		return power.DefaultVF()
+	}
+	return c.VF
 }
 
 // DefaultGuardConfig returns guard thresholds tuned for the paper's
@@ -100,8 +111,8 @@ func (c GuardConfig) Validate() error {
 	if c.SaturationStreak < 1 {
 		return fmt.Errorf("control: guard SaturationStreak must be at least 1")
 	}
-	if _, err := power.FrequencyIndex(c.CapFreq); err != nil {
-		return err
+	if _, err := c.vf().FrequencyIndex(c.CapFreq); err != nil {
+		return fmt.Errorf("control: guard CapFreq: %w", err)
 	}
 	return nil
 }
@@ -177,8 +188,12 @@ func NewGuardedController(primary, fallback Controller, cfg GuardConfig) (*Guard
 	if primary == nil || fallback == nil {
 		return nil, fmt.Errorf("control: guarded controller needs primary and fallback")
 	}
-	if (cfg == GuardConfig{}) {
+	if reflect.ValueOf(cfg).IsZero() {
 		cfg = DefaultGuardConfig()
+	} else if cfg.CapFreq == 0 && !cfg.VF.IsZero() {
+		// A platform-scoped config that left the cap unset caps at the
+		// curve's floor, mirroring DefaultGuardConfig.
+		cfg.CapFreq = cfg.VF.MinGHz()
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -247,7 +262,7 @@ func (g *GuardedController) anomalous(obs Observation) bool {
 		return true
 	case g.dispersed():
 		return true
-	case g.haveFreq && math.Abs(obs.CurrentFreq-g.lastFreq) > power.FrequencyStepGHz/2:
+	case g.haveFreq && math.Abs(obs.CurrentFreq-g.lastFreq) > g.Cfg.vf().StepGHz/2:
 		// The operating point moved without this controller asking: an
 		// external override or a corrupted frequency report.
 		return true
@@ -388,7 +403,7 @@ func (g *GuardedController) Decide(obs Observation) float64 {
 	} else {
 		f = g.Primary.Decide(obs)
 	}
-	f = power.ClampFrequency(f)
+	f = g.Cfg.vf().ClampFrequency(f)
 	g.throttled = g.haveFreq && f < g.lastFreq
 	g.lastFreq, g.haveFreq = f, true
 	return f

@@ -9,7 +9,6 @@ import (
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/trace"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // critTempObserver streams one calibration run down to the lowest
@@ -128,6 +127,17 @@ type ThermalController struct {
 	// all workloads in the training set"; CalibrateThermalMargin finds the
 	// smallest margin with that property.
 	Margin float64
+	// VF is the operating curve the controller steps along. The zero value
+	// selects the default Table I curve.
+	VF power.VFCurve
+}
+
+// vf resolves the controller's operating curve.
+func (c *ThermalController) vf() power.VFCurve {
+	if c.VF.IsZero() {
+		return power.DefaultVF()
+	}
+	return c.VF
 }
 
 // NewThermalController builds a TH controller with the paper's naming.
@@ -148,15 +158,16 @@ func (c *ThermalController) Reset() {}
 // false and the controller would silently hold (and -Inf would command a
 // climb), so an unreadable sensor throttles one step instead.
 func (c *ThermalController) Decide(obs Observation) float64 {
+	vf := c.vf()
 	cur := obs.CurrentFreq
 	if math.IsNaN(obs.SensorTemp) || math.IsInf(obs.SensorTemp, 0) {
-		return cur - power.FrequencyStepGHz
+		return cur - vf.StepGHz
 	}
 	if obs.SensorTemp >= c.Table.GlobalAt(cur)+c.Relax-c.Margin {
-		return cur - power.FrequencyStepGHz
+		return cur - vf.StepGHz
 	}
-	next := cur + power.FrequencyStepGHz
-	if next <= power.MaxFrequencyGHz+1e-9 &&
+	next := cur + vf.StepGHz
+	if next <= vf.MaxGHz()+1e-9 &&
 		obs.SensorTemp < c.Table.GlobalAt(next)+c.Relax-c.Margin-c.Headroom {
 		return next
 	}
@@ -183,8 +194,9 @@ func CalibrateThermalMarginContext(ctx context.Context, p *sim.Pipeline, table *
 	for margin := 0.0; margin <= maxMargin; margin++ {
 		ctrl := NewThermalController(table, 0)
 		ctrl.Margin = margin
+		ctrl.VF = p.VF()
 		incursions, err := runner.Map(ctx, workers, len(workloads), func(ctx context.Context, i int) (int, error) {
-			w, err := workload.ByName(workloads[i])
+			w, err := p.Workloads().ByName(workloads[i])
 			if err != nil {
 				return 0, err
 			}

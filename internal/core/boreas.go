@@ -37,6 +37,17 @@ type Predictor struct {
 	// freqCol and voltCol are the model-feature positions of the
 	// operating-point features, or -1 when the model does not use them.
 	freqCol, voltCol int
+	// VF is the operating curve what-if voltages are looked up on. The
+	// zero value selects the default Table I curve.
+	VF power.VFCurve
+}
+
+// vf resolves the predictor's operating curve.
+func (p *Predictor) vf() power.VFCurve {
+	if p.VF.IsZero() {
+		return power.DefaultVF()
+	}
+	return p.VF
 }
 
 // NewPredictor binds a trained model to the telemetry schema. The model's
@@ -139,7 +150,7 @@ func (p *Predictor) whatIfRow(k arch.Counters, sensorTemp, newFreq float64) []fl
 		row[p.freqCol] = newFreq
 	}
 	if p.voltCol >= 0 {
-		row[p.voltCol] = power.VoltageFor(newFreq)
+		row[p.voltCol] = p.vf().VoltageFor(newFreq)
 	}
 	return row
 }
@@ -151,6 +162,17 @@ type Controller struct {
 	// Guardband is the fractional safety margin: 0 (ML00), 0.05 (ML05),
 	// 0.10 (ML10). The decision threshold is 1 - Guardband.
 	Guardband float64
+	// VF is the operating curve the controller steps along. The zero
+	// value selects the default Table I curve.
+	VF power.VFCurve
+}
+
+// vf resolves the controller's operating curve.
+func (c *Controller) vf() power.VFCurve {
+	if c.VF.IsZero() {
+		return power.DefaultVF()
+	}
+	return c.VF
 }
 
 // NewController builds an ML-xx controller.
@@ -178,17 +200,18 @@ func (c *Controller) Reset() {}
 // in through corrupted performance counters (the faults-campaign failure
 // modes), consistent with the control.GuardedController anomaly screens.
 func (c *Controller) Decide(obs control.Observation) float64 {
+	vf := c.vf()
 	threshold := 1.0 - c.Guardband
 	cur := obs.CurrentFreq
 	if math.IsNaN(obs.SensorTemp) || math.IsInf(obs.SensorTemp, 0) {
-		return cur - power.FrequencyStepGHz
+		return cur - vf.StepGHz
 	}
 	sev, err := c.Pred.PredictChecked(obs.Counters, obs.SensorTemp)
 	if err != nil || sev >= threshold {
-		return cur - power.FrequencyStepGHz
+		return cur - vf.StepGHz
 	}
-	next := cur + power.FrequencyStepGHz
-	if next <= power.MaxFrequencyGHz+1e-9 {
+	next := cur + vf.StepGHz
+	if next <= vf.MaxGHz()+1e-9 {
 		whatIf, err := c.Pred.PredictAtChecked(obs.Counters, obs.SensorTemp, next)
 		if err == nil && whatIf < threshold {
 			return next

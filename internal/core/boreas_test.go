@@ -225,9 +225,9 @@ func TestControllerNonFiniteCountersFailSafe(t *testing.T) {
 		t.Fatalf("clean cold decision %v, want an upward step", f)
 	}
 	for name, mut := range map[string]func(*arch.Counters){
-		"nan-cdb-alu":    func(k *arch.Counters) { k.CdbALUAccesses = math.NaN() },
-		"inf-cycles":     func(k *arch.Counters) { k.TotalCycles = math.Inf(1) },
-		"nan-committed":  func(k *arch.Counters) { k.CommittedInstructions = math.NaN() },
+		"nan-cdb-alu":   func(k *arch.Counters) { k.CdbALUAccesses = math.NaN() },
+		"inf-cycles":    func(k *arch.Counters) { k.TotalCycles = math.Inf(1) },
+		"nan-committed": func(k *arch.Counters) { k.CommittedInstructions = math.NaN() },
 	} {
 		obs := control.Observation{Counters: mk(mut), SensorTemp: 48, CurrentFreq: 3.0}
 		if f := ctrl.Decide(obs); f >= 3.0 {

@@ -9,7 +9,6 @@ import (
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/trace"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // runNamed executes one closed loop on a named workload. Each call runs
@@ -17,7 +16,7 @@ import (
 // concurrently (all controllers in this repo are read-only at decide
 // time).
 func (l *Lab) runNamed(name string, ctrl control.Controller) (*control.LoopResult, error) {
-	w, err := workload.ByName(name)
+	w, err := l.pipeline.Workloads().ByName(name)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +102,7 @@ type Fig5Result struct {
 // Fig5SensorStudy runs a hot workload pinned above its ceiling and
 // records every sensor.
 func Fig5SensorStudy(l *Lab, name string, fGHz float64) (*Fig5Result, error) {
-	w, err := workload.ByName(name)
+	w, err := l.pipeline.Workloads().ByName(name)
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/sim"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // CochranResult is the §IV-C comparative study: the Cochran-Reda
@@ -35,7 +34,9 @@ func CochranComparison(l *Lab) (*CochranResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cr, err := control.TrainCochranReda(ds, th00.Table, 0, control.DefaultCochranConfig())
+	cc := control.DefaultCochranConfig()
+	cc.VF = l.pipeline.VF()
+	cr, err := control.TrainCochranReda(ds, th00.Table, 0, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +117,7 @@ type DelayStudyResult struct {
 // calibrates the smallest incursion-free margin, and measures the
 // resulting closed-loop frequency.
 func DelayStudy(l *Lab, name string, maxMargin float64) (*DelayStudyResult, error) {
-	w, err := workload.ByName(name)
+	w, err := l.pipeline.Workloads().ByName(name)
 	if err != nil {
 		return nil, err
 	}

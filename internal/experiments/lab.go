@@ -19,10 +19,9 @@ import (
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
-	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // Config scales the experiment campaign.
@@ -41,6 +40,9 @@ type Config struct {
 	SensorIndex int
 	// TrainNames and TestNames are the Table III sets.
 	TrainNames, TestNames []string
+	// StartFreq is the closed-loop starting frequency in GHz. 0 selects
+	// the historical 3.75 GHz global limit (control.DefaultLoopConfig).
+	StartFreq float64
 	// Workers bounds the parallelism of every campaign the lab runs:
 	// dataset builds, the oracle and calibration sweeps, closed-loop
 	// evaluations and GBT training. 0 or negative means one worker per
@@ -48,18 +50,56 @@ type Config struct {
 	Workers int
 }
 
-// DefaultConfig reproduces the paper-scale campaign (minutes of CPU).
+// DefaultConfig reproduces the paper-scale campaign (minutes of CPU) on the
+// default Skylake-7nm platform.
 func DefaultConfig() Config {
+	return ConfigForPlatform(platform.Default())
+}
+
+// ConfigForPlatform derives a paper-scale campaign configuration from a
+// platform: the full frequency sweep of its VF curve, its train/test split,
+// its preferred sensor, and a starting frequency of 3.75 GHz clamped onto
+// its operating grid. On platform.Default() this reproduces the historical
+// DefaultConfig bit-identically.
+func ConfigForPlatform(pf *platform.Platform) Config {
 	return Config{
-		Sim:              sim.DefaultConfig(),
-		Frequencies:      power.FrequencySteps(),
+		Sim:              pf.SimConfig(),
+		Frequencies:      pf.VF.FrequencySteps(),
 		StepsPerRun:      150,
 		Horizon:          36,
 		WalksPerWorkload: 5,
-		SensorIndex:      sim.DefaultSensorIndex,
-		TrainNames:       workload.TrainNames,
-		TestNames:        workload.TestNames,
+		SensorIndex:      pf.SensorIndex,
+		TrainNames:       pf.Workloads.TrainNames(),
+		TestNames:        pf.Workloads.TestNames(),
+		StartFreq:        pf.VF.ClampFrequency(3.75),
 	}
+}
+
+// QuickenForPlatform shrinks a ConfigForPlatform campaign the generic way
+// QuickConfig shrinks the default one: coarser sampling inside the core
+// model, shorter runs, every other frequency, and truncated train/test
+// sets. Unlike QuickConfig it works for any platform.
+func QuickenForPlatform(cfg Config) Config {
+	cfg.Sim.Core.SampleAccesses = 512
+	cfg.Sim.Core.SampleBranches = 256
+	cfg.Sim.WarmStartProbeSteps = 5
+	var freqs []float64
+	for i, f := range cfg.Frequencies {
+		if i%2 == 0 || i == len(cfg.Frequencies)-1 {
+			freqs = append(freqs, f)
+		}
+	}
+	cfg.Frequencies = freqs
+	cfg.StepsPerRun = 72
+	cfg.Horizon = 24
+	cfg.WalksPerWorkload = 2
+	if len(cfg.TrainNames) > 8 {
+		cfg.TrainNames = cfg.TrainNames[:8]
+	}
+	if len(cfg.TestNames) > 3 {
+		cfg.TestNames = cfg.TestNames[:3]
+	}
+	return cfg
 }
 
 // QuickConfig is a reduced campaign for tests and fast iteration: coarser
@@ -178,6 +218,7 @@ func (l *Lab) THRelaxed(relax float64) (*control.ThermalController, error) {
 	c := control.NewThermalController(base.Table, relax)
 	c.Margin = base.Margin
 	c.Headroom = base.Headroom
+	c.VF = base.VF
 	return c, nil
 }
 
@@ -185,6 +226,10 @@ func (l *Lab) loopConfig() control.LoopConfig {
 	lc := control.DefaultLoopConfig()
 	lc.Steps = l.cfg.StepsPerRun
 	lc.SensorIndex = l.cfg.SensorIndex
+	lc.VF = l.pipeline.VF()
+	if l.cfg.StartFreq != 0 {
+		lc.StartFreq = l.cfg.StartFreq
+	}
 	return lc
 }
 
@@ -240,7 +285,12 @@ func (l *Lab) Predictor() (*core.Predictor, error) {
 		}
 		tc := core.DefaultTrainConfig()
 		tc.Params.Workers = l.cfg.Workers
-		return core.Train(ds, tc)
+		pred, err := core.Train(ds, tc)
+		if err != nil {
+			return nil, err
+		}
+		pred.VF = l.pipeline.VF()
+		return pred, nil
 	})
 }
 
@@ -264,5 +314,10 @@ func (l *Lab) MLController(guardband float64) (*core.Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewController(pred, guardband)
+	ctrl, err := core.NewController(pred, guardband)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.VF = l.pipeline.VF()
+	return ctrl, nil
 }

@@ -10,7 +10,6 @@ import (
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/trace"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // PlacementResult is the HotGauge sensor-placement methodology applied to
@@ -48,7 +47,7 @@ func SensorPlacement(l *Lab, k int) (*PlacementResult, error) {
 	// concatenate the per-workload sites in campaign order so the k-means
 	// input (and thus the placement) is identical at any worker count.
 	perWorkload, err := runner.Map(l.ctx, l.cfg.Workers, len(l.cfg.TrainNames), func(_ context.Context, i int) ([][2]float64, error) {
-		w, err := workload.ByName(l.cfg.TrainNames[i])
+		w, err := p.Workloads().ByName(l.cfg.TrainNames[i])
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,6 @@ import (
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/faults"
 	"github.com/hotgauge/boreas/internal/runner"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // ControllerFactory names a controller construction recipe. The fault
@@ -162,7 +161,7 @@ func FaultGrid(l *Lab, fc FaultGridConfig) (*FaultGridResult, error) {
 		if err != nil {
 			return faultRun{}, err
 		}
-		w, err := workload.ByName(name)
+		w, err := l.pipeline.Workloads().ByName(name)
 		if err != nil {
 			return faultRun{}, err
 		}

@@ -1,0 +1,81 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Save writes the platform as an indented JSON scenario file. The document
+// round-trips through Load bit-identically: Go's float64 encoding is exact,
+// so a saved default platform reproduces the original behaviour.
+func (p *Platform) Save(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("platform: refusing to save invalid platform: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("platform: encoding %s: %w", p.Name, err)
+	}
+	return nil
+}
+
+// SaveFile writes the platform to a scenario file at path.
+func (p *Platform) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("platform: creating %s: %w", path, err)
+	}
+	if err := p.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("platform: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load parses and fully validates a scenario file written by Save (or
+// authored by hand in the same schema). Unknown top-level fields are an
+// error, so typos in hand-authored files surface instead of silently
+// falling back to zero values.
+func Load(r io.Reader) (*Platform, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Platform
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("platform: parsing scenario: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadFile reads a scenario file from path.
+func LoadFile(path string) (*Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("platform: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	p, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("platform: loading %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Resolve turns a CLI -platform argument into a Platform: a value ending in
+// .json (or containing a path separator) is loaded as a scenario file,
+// anything else is looked up in the registry.
+func Resolve(nameOrPath string) (*Platform, error) {
+	if strings.HasSuffix(nameOrPath, ".json") || strings.ContainsAny(nameOrPath, `/\`) {
+		return LoadFile(nameOrPath)
+	}
+	return ByName(nameOrPath)
+}

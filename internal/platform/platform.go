@@ -1,0 +1,164 @@
+// Package platform bundles everything that defines "the chip and its
+// workloads" into one typed, validated, JSON-(de)serializable value: the
+// floorplan, thermal stack, power model and VF curve, core
+// micro-architecture, hotspot-severity anchors, sensor placement, telemetry
+// timing, and the workload catalogue with its train/test split.
+//
+// Historically those settings were package globals (power.TableI,
+// workload.TrainNames, ...) and DefaultConfig functions scattered across
+// five packages, which welded the whole reproduction to a single chip. A
+// Platform is a value: Default() reproduces that original Skylake-7nm setup
+// bit-identically, derived scenarios are plain struct edits, Save/Load move
+// them through scenario files, and the registry names the built-in ones.
+package platform
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/arch"
+	"github.com/hotgauge/boreas/internal/floorplan"
+	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/thermal"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// Platform is one complete chip-plus-workloads scenario. The zero value is
+// not usable; start from Default(), a registry entry, or Load.
+type Platform struct {
+	// Name identifies the platform (registry key, report labels).
+	Name string `json:"name"`
+	// Description is free-form documentation for scenario files.
+	Description string `json:"description,omitempty"`
+
+	// Floorplan is the die layout.
+	Floorplan *floorplan.Floorplan `json:"floorplan"`
+	// Thermal is the thermal RC stack (grid resolution, materials, sink).
+	Thermal thermal.Config `json:"thermal"`
+	// Power is the dynamic+leakage power model.
+	Power power.Config `json:"power"`
+	// VF is the voltage/frequency operating curve.
+	VF power.VFCurve `json:"vf"`
+	// Core is the core micro-architecture model.
+	Core arch.CoreConfig `json:"core"`
+	// Severity holds the hotspot-severity anchors.
+	Severity hotspot.SeverityParams `json:"severity"`
+
+	// TimestepSec is the telemetry sampling interval in seconds.
+	TimestepSec float64 `json:"timestep_sec"`
+	// SensorDelaySec is the thermal-sensor read-out delay in seconds.
+	SensorDelaySec float64 `json:"sensor_delay_sec"`
+	// SensorSpots lists the thermal-sensor locations in die metres.
+	SensorSpots [][2]float64 `json:"sensor_spots_m"`
+	// SensorIndex selects the sensor controllers read by default.
+	SensorIndex int `json:"sensor_index"`
+
+	// Workloads is the benchmark catalogue plus its train/test split.
+	Workloads *workload.Set `json:"workloads"`
+}
+
+// Default returns the paper's Skylake-like 7 nm setup: the platform every
+// pre-platform release of this repository was hard-coded to. It reproduces
+// sim.DefaultConfig / the package globals bit-identically.
+func Default() *Platform {
+	sc := sim.DefaultConfig()
+	return &Platform{
+		Name:           "skylake-7nm",
+		Description:    "Skylake-like core on the modelled 7 nm process: Table I VF curve, 4x3 mm die, 32x24 thermal grid, 27-workload SPEC CPU2006 catalogue with the Table III train/test split.",
+		Floorplan:      floorplan.SkylakeLike(),
+		Thermal:        sc.Thermal,
+		Power:          sc.Power,
+		VF:             power.DefaultVF(),
+		Core:           sc.Core,
+		Severity:       sc.Severity,
+		TimestepSec:    sc.TimestepSec,
+		SensorDelaySec: sc.SensorDelaySec,
+		SensorSpots:    sim.DefaultSensorSpots(),
+		SensorIndex:    sim.DefaultSensorIndex,
+		Workloads:      workload.DefaultSet(),
+	}
+}
+
+// Validate reports scenario errors, naming the offending field. Component
+// errors are wrapped with %w so callers can errors.Is/As through them.
+func (p *Platform) Validate() error {
+	if p == nil {
+		return fmt.Errorf("platform: nil Platform")
+	}
+	if p.Name == "" {
+		return fmt.Errorf("platform: Name must not be empty")
+	}
+	if p.Floorplan == nil || len(p.Floorplan.Blocks) == 0 {
+		return fmt.Errorf("platform: %s: Floorplan must have at least one block", p.Name)
+	}
+	if err := p.Thermal.Validate(); err != nil {
+		return fmt.Errorf("platform: %s: Thermal: %w", p.Name, err)
+	}
+	if p.Floorplan.DieW != p.Thermal.DieW || p.Floorplan.DieH != p.Thermal.DieH {
+		return fmt.Errorf("platform: %s: Floorplan die %g x %g m does not match Thermal die %g x %g m",
+			p.Name, p.Floorplan.DieW, p.Floorplan.DieH, p.Thermal.DieW, p.Thermal.DieH)
+	}
+	if err := p.Power.Validate(); err != nil {
+		return fmt.Errorf("platform: %s: Power: %w", p.Name, err)
+	}
+	if err := p.VF.Validate(); err != nil {
+		return fmt.Errorf("platform: %s: VF: %w", p.Name, err)
+	}
+	if err := p.Core.Validate(); err != nil {
+		return fmt.Errorf("platform: %s: Core: %w", p.Name, err)
+	}
+	if err := p.Severity.Validate(); err != nil {
+		return fmt.Errorf("platform: %s: Severity: %w", p.Name, err)
+	}
+	if p.TimestepSec <= 0 {
+		return fmt.Errorf("platform: %s: TimestepSec %g must be positive", p.Name, p.TimestepSec)
+	}
+	if p.SensorDelaySec < 0 {
+		return fmt.Errorf("platform: %s: SensorDelaySec %g must be non-negative", p.Name, p.SensorDelaySec)
+	}
+	if len(p.SensorSpots) == 0 {
+		return fmt.Errorf("platform: %s: SensorSpots must list at least one sensor", p.Name)
+	}
+	for i, s := range p.SensorSpots {
+		if s[0] < 0 || s[0] > p.Thermal.DieW || s[1] < 0 || s[1] > p.Thermal.DieH {
+			return fmt.Errorf("platform: %s: SensorSpots[%d] = (%g, %g) m outside the %g x %g m die",
+				p.Name, i, s[0], s[1], p.Thermal.DieW, p.Thermal.DieH)
+		}
+	}
+	if p.SensorIndex < 0 || p.SensorIndex >= len(p.SensorSpots) {
+		return fmt.Errorf("platform: %s: SensorIndex %d outside the %d-sensor array",
+			p.Name, p.SensorIndex, len(p.SensorSpots))
+	}
+	if p.Workloads == nil {
+		return fmt.Errorf("platform: %s: Workloads must not be nil", p.Name)
+	}
+	if err := p.Workloads.Validate(); err != nil {
+		return fmt.Errorf("platform: %s: Workloads: %w", p.Name, err)
+	}
+	if len(p.Workloads.TrainNames()) == 0 {
+		return fmt.Errorf("platform: %s: Workloads train split must not be empty", p.Name)
+	}
+	return nil
+}
+
+// SimConfig assembles a sim.Config for this platform with the standard
+// experiment run parameters (seed 1, 92% warm starts primed over 15 probe
+// steps — the values sim.DefaultConfig has always used).
+func (p *Platform) SimConfig() sim.Config {
+	return sim.Config{
+		Thermal:             p.Thermal,
+		Power:               p.Power,
+		Core:                p.Core,
+		Severity:            p.Severity,
+		Floorplan:           p.Floorplan,
+		VF:                  p.VF,
+		Workloads:           p.Workloads,
+		SensorSpots:         p.SensorSpots,
+		TimestepSec:         p.TimestepSec,
+		SensorDelaySec:      p.SensorDelaySec,
+		Seed:                1,
+		WarmStartFraction:   0.92,
+		WarmStartProbeSteps: 15,
+	}
+}

@@ -1,0 +1,114 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hotgauge/boreas/internal/power"
+)
+
+// ErrUnknown is wrapped by ByName/Resolve when no registered platform
+// matches; test with errors.Is.
+var ErrUnknown = errors.New("platform: unknown platform")
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() *Platform{}
+)
+
+// Register adds a named platform builder to the registry. The builder must
+// return a fresh value on every call (callers may mutate the result). It is
+// an error to register an empty name or a name twice.
+func Register(name string, build func() *Platform) error {
+	if name == "" {
+		return fmt.Errorf("platform: Register needs a non-empty name")
+	}
+	if build == nil {
+		return fmt.Errorf("platform: Register %s: nil builder", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("platform: %s already registered", name)
+	}
+	registry[name] = build
+	return nil
+}
+
+// ByName builds the named registered platform. The returned Platform is a
+// fresh value the caller owns.
+func ByName(name string) (*Platform, error) {
+	regMu.RLock()
+	build, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknown, name, Names())
+	}
+	p := build()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("platform: registered builder %s produced an invalid platform: %w", name, err)
+	}
+	return p, nil
+}
+
+// Names lists the registered platform names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mustRegister(name string, build func() *Platform) {
+	if err := Register(name, build); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegister("skylake-7nm", Default)
+	mustRegister("mobile-7nm", Mobile)
+	mustRegister("server-7nm-hires", ServerHiRes)
+}
+
+// Mobile returns a low-power mobile derivative of the default platform: the
+// VF curve tops out at 4.5 GHz on visibly lower voltages (a leakier,
+// lower-Vt mobile bin), and the heatsink is a passively-cooled slab with a
+// fraction of the desktop sink's mass and twice its thermal resistance, so
+// hotspots form at operating points the desktop part shrugs off.
+func Mobile() *Platform {
+	p := Default()
+	p.Name = "mobile-7nm"
+	p.Description = "Low-power mobile derivative: 2.0-4.5 GHz VF curve at reduced voltages, passively-cooled sink (2x thermal resistance, lighter slab)."
+	p.VF.Points = []power.VFPoint{
+		{FrequencyGHz: 2.0, Voltage: 0.58},
+		{FrequencyGHz: 2.5, Voltage: 0.64},
+		{FrequencyGHz: 3.0, Voltage: 0.70},
+		{FrequencyGHz: 3.5, Voltage: 0.79},
+		{FrequencyGHz: 4.0, Voltage: 0.92},
+		{FrequencyGHz: 4.5, Voltage: 1.10},
+	}
+	p.Thermal.SinkHeatCapacity = 22
+	p.Thermal.SinkToAmbientResistance = 0.9
+	return p
+}
+
+// ServerHiRes returns a server derivative of the default platform on the
+// hi-res 48x36 thermal grid (the resolution thermal.DefaultConfig was tuned
+// at) with a heavier, lower-resistance server sink. Same die, same VF
+// curve: the point of the variant is grid-resolution and cooling studies.
+func ServerHiRes() *Platform {
+	p := Default()
+	p.Name = "server-7nm-hires"
+	p.Description = "Server derivative: 48x36 hi-res thermal grid, heavy low-resistance server sink."
+	p.Thermal.NX, p.Thermal.NY = 48, 36
+	p.Thermal.SinkHeatCapacity = 90
+	p.Thermal.SinkToAmbientResistance = 0.32
+	return p
+}

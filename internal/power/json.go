@@ -1,0 +1,67 @@
+package power
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/floorplan"
+)
+
+// jsonConfig is the scenario-file schema for Config. UnitIntensity is keyed
+// by unit name (not enum position) so files survive enum reordering; units
+// absent from the map get intensity 0.
+type jsonConfig struct {
+	Scale             float64            `json:"scale"`
+	DynamicDensity    float64            `json:"dynamic_density_w_per_m2"`
+	UnitIntensity     map[string]float64 `json:"unit_intensity"`
+	LeakageDensityRef float64            `json:"leakage_density_ref_w_per_m2"`
+	LeakageTRef       float64            `json:"leakage_t_ref_c"`
+	LeakageTheta      float64            `json:"leakage_theta_k"`
+	IdleActivity      float64            `json:"idle_activity"`
+}
+
+// MarshalJSON encodes the config with unit intensities keyed by unit name.
+// Units with intensity 0 are omitted.
+func (c Config) MarshalJSON() ([]byte, error) {
+	jc := jsonConfig{
+		Scale:             c.Scale,
+		DynamicDensity:    c.DynamicDensity,
+		UnitIntensity:     make(map[string]float64),
+		LeakageDensityRef: c.LeakageDensityRef,
+		LeakageTRef:       c.LeakageTRef,
+		LeakageTheta:      c.LeakageTheta,
+		IdleActivity:      c.IdleActivity,
+	}
+	for u, v := range c.UnitIntensity {
+		if v != 0 {
+			jc.UnitIntensity[floorplan.Unit(u).String()] = v
+		}
+	}
+	return json.Marshal(jc)
+}
+
+// UnmarshalJSON decodes a config written by MarshalJSON, resolving unit
+// names; unknown unit names are an error.
+func (c *Config) UnmarshalJSON(b []byte) error {
+	var jc jsonConfig
+	if err := json.Unmarshal(b, &jc); err != nil {
+		return fmt.Errorf("power: decoding Config: %w", err)
+	}
+	out := Config{
+		Scale:             jc.Scale,
+		DynamicDensity:    jc.DynamicDensity,
+		LeakageDensityRef: jc.LeakageDensityRef,
+		LeakageTRef:       jc.LeakageTRef,
+		LeakageTheta:      jc.LeakageTheta,
+		IdleActivity:      jc.IdleActivity,
+	}
+	for name, v := range jc.UnitIntensity {
+		u, err := floorplan.UnitByName(name)
+		if err != nil {
+			return fmt.Errorf("power: Config.UnitIntensity: %w", err)
+		}
+		out.UnitIntensity[u] = v
+	}
+	*c = out
+	return nil
+}

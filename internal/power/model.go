@@ -70,16 +70,28 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors, naming the offending field.
 func (c Config) Validate() error {
-	if c.Scale <= 0 || c.DynamicDensity <= 0 {
-		return fmt.Errorf("power: non-positive dynamic parameters")
+	if !(c.Scale > 0) {
+		return fmt.Errorf("power: Config.Scale %g must be positive", c.Scale)
 	}
-	if c.LeakageDensityRef < 0 || c.LeakageTheta <= 0 {
-		return fmt.Errorf("power: bad leakage parameters")
+	if !(c.DynamicDensity > 0) {
+		return fmt.Errorf("power: Config.DynamicDensity %g must be positive", c.DynamicDensity)
+	}
+	for u, v := range c.UnitIntensity {
+		if !(v >= 0) || math.IsInf(v, 1) {
+			return fmt.Errorf("power: Config.UnitIntensity[%s] = %g must be finite and non-negative",
+				floorplan.Unit(u), v)
+		}
+	}
+	if !(c.LeakageDensityRef >= 0) {
+		return fmt.Errorf("power: Config.LeakageDensityRef %g must be non-negative", c.LeakageDensityRef)
+	}
+	if !(c.LeakageTheta > 0) {
+		return fmt.Errorf("power: Config.LeakageTheta %g must be positive", c.LeakageTheta)
 	}
 	if c.IdleActivity < 0 || c.IdleActivity > 1 {
-		return fmt.Errorf("power: idle activity %g outside [0,1]", c.IdleActivity)
+		return fmt.Errorf("power: Config.IdleActivity %g outside [0,1]", c.IdleActivity)
 	}
 	return nil
 }

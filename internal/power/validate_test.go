@@ -1,0 +1,39 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestConfigValidateErrorPaths pins the contract that every Config
+// validation failure names the offending field.
+func TestConfigValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"zero scale", func(c *Config) { c.Scale = 0 }, "Config.Scale"},
+		{"nan scale", func(c *Config) { c.Scale = math.NaN() }, "Config.Scale"},
+		{"zero dynamic density", func(c *Config) { c.DynamicDensity = 0 }, "Config.DynamicDensity"},
+		{"negative intensity", func(c *Config) { c.UnitIntensity[0] = -1 }, "Config.UnitIntensity["},
+		{"infinite intensity", func(c *Config) { c.UnitIntensity[0] = math.Inf(1) }, "Config.UnitIntensity["},
+		{"negative leakage ref", func(c *Config) { c.LeakageDensityRef = -1 }, "Config.LeakageDensityRef"},
+		{"zero leakage theta", func(c *Config) { c.LeakageTheta = 0 }, "Config.LeakageTheta"},
+		{"idle activity", func(c *Config) { c.IdleActivity = 2 }, "Config.IdleActivity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name %q", err, tc.wantSub)
+			}
+		})
+	}
+}

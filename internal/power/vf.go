@@ -8,11 +8,6 @@
 // linearly interpolated between the published anchors.
 package power
 
-import (
-	"fmt"
-	"math"
-)
-
 // VFPoint is one voltage/frequency operating point.
 type VFPoint struct {
 	FrequencyGHz float64
@@ -39,54 +34,38 @@ const (
 )
 
 // VoltageFor returns the supply voltage for a frequency in GHz, linearly
-// interpolated between the Table I anchors and clamped at the ends.
+// interpolated between the Table I anchors and clamped (not extrapolated) at
+// the ends: requests below 2.0 GHz return the 2.0 GHz anchor's 0.64 V and
+// requests above 5.0 GHz return the 5.0 GHz anchor's 1.40 V.
+//
+// Deprecated: use a platform-scoped VFCurve (VFCurve.VoltageFor); this
+// wrapper always evaluates the default Table I curve.
 func VoltageFor(fGHz float64) float64 {
-	if fGHz <= TableI[0].FrequencyGHz {
-		return TableI[0].Voltage
-	}
-	last := TableI[len(TableI)-1]
-	if fGHz >= last.FrequencyGHz {
-		return last.Voltage
-	}
-	for i := 1; i < len(TableI); i++ {
-		if fGHz <= TableI[i].FrequencyGHz {
-			lo, hi := TableI[i-1], TableI[i]
-			t := (fGHz - lo.FrequencyGHz) / (hi.FrequencyGHz - lo.FrequencyGHz)
-			return lo.Voltage + t*(hi.Voltage-lo.Voltage)
-		}
-	}
-	return last.Voltage
+	return DefaultVF().VoltageFor(fGHz)
 }
 
 // FrequencySteps returns the 13 operating frequencies 2.0, 2.25, ... 5.0.
+//
+// Deprecated: use a platform-scoped VFCurve (VFCurve.FrequencySteps); this
+// wrapper always evaluates the default Table I curve.
 func FrequencySteps() []float64 {
-	var out []float64
-	for f := MinFrequencyGHz; f <= MaxFrequencyGHz+1e-9; f += FrequencyStepGHz {
-		out = append(out, math.Round(f*100)/100)
-	}
-	return out
+	return DefaultVF().FrequencySteps()
 }
 
 // ClampFrequency snaps f to the nearest legal step inside the DVFS range.
 // A NaN request fails safe to the minimum frequency.
+//
+// Deprecated: use a platform-scoped VFCurve (VFCurve.ClampFrequency); this
+// wrapper always evaluates the default Table I curve.
 func ClampFrequency(fGHz float64) float64 {
-	if math.IsNaN(fGHz) || fGHz < MinFrequencyGHz {
-		return MinFrequencyGHz
-	}
-	if fGHz > MaxFrequencyGHz {
-		return MaxFrequencyGHz
-	}
-	steps := math.Round((fGHz - MinFrequencyGHz) / FrequencyStepGHz)
-	return MinFrequencyGHz + steps*FrequencyStepGHz
+	return DefaultVF().ClampFrequency(fGHz)
 }
 
 // FrequencyIndex returns the index of f in FrequencySteps, or an error if
 // f is not a legal step.
+//
+// Deprecated: use a platform-scoped VFCurve (VFCurve.FrequencyIndex); this
+// wrapper always evaluates the default Table I curve.
 func FrequencyIndex(fGHz float64) (int, error) {
-	idx := (fGHz - MinFrequencyGHz) / FrequencyStepGHz
-	r := math.Round(idx)
-	if math.Abs(idx-r) > 1e-6 || r < 0 || r > (MaxFrequencyGHz-MinFrequencyGHz)/FrequencyStepGHz+1e-9 {
-		return 0, fmt.Errorf("power: %g GHz is not a legal operating point", fGHz)
-	}
-	return int(r), nil
+	return DefaultVF().FrequencyIndex(fGHz)
 }

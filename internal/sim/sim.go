@@ -29,6 +29,20 @@ type Config struct {
 	Core     arch.CoreConfig
 	Severity hotspot.SeverityParams
 
+	// Floorplan is the die layout. nil selects the default Skylake-like
+	// floorplan (floorplan.SkylakeLike).
+	Floorplan *floorplan.Floorplan
+	// VF is the voltage/frequency operating curve. The zero value selects
+	// the paper's Table I curve (power.DefaultVF).
+	VF power.VFCurve
+	// Workloads is the workload catalogue used by RunStatic and the
+	// campaign layers. nil selects the default 27-workload catalogue
+	// (workload.DefaultSet).
+	Workloads *workload.Set
+	// SensorSpots lists thermal-sensor locations in die metres. nil selects
+	// the default 7-sensor HotGauge placement.
+	SensorSpots [][2]float64
+
 	// TimestepSec is the telemetry sampling interval (80 us in the paper).
 	TimestepSec float64
 	// SensorDelaySec is the thermal-sensor read-out delay (960 us default,
@@ -66,33 +80,71 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Component errors are wrapped with
+// the Config field name, so callers can errors.Is/As through them.
 func (c Config) Validate() error {
 	if err := c.Thermal.Validate(); err != nil {
-		return err
+		return fmt.Errorf("sim: Thermal: %w", err)
 	}
 	if err := c.Power.Validate(); err != nil {
-		return err
+		return fmt.Errorf("sim: Power: %w", err)
 	}
 	if err := c.Core.Validate(); err != nil {
-		return err
+		return fmt.Errorf("sim: Core: %w", err)
 	}
 	if err := c.Severity.Validate(); err != nil {
-		return err
+		return fmt.Errorf("sim: Severity: %w", err)
+	}
+	if c.Floorplan != nil && len(c.Floorplan.Blocks) == 0 {
+		return fmt.Errorf("sim: Floorplan has no blocks")
+	}
+	if !c.VF.IsZero() {
+		if err := c.VF.Validate(); err != nil {
+			return fmt.Errorf("sim: VF: %w", err)
+		}
+	}
+	if c.Workloads != nil {
+		if err := c.Workloads.Validate(); err != nil {
+			return fmt.Errorf("sim: Workloads: %w", err)
+		}
+	}
+	for i, s := range c.SensorSpots {
+		if s[0] < 0 || s[0] > c.Thermal.DieW || s[1] < 0 || s[1] > c.Thermal.DieH {
+			return fmt.Errorf("sim: SensorSpots[%d] = (%g, %g) m outside the %g x %g m die",
+				i, s[0], s[1], c.Thermal.DieW, c.Thermal.DieH)
+		}
 	}
 	if c.TimestepSec <= 0 {
-		return fmt.Errorf("sim: non-positive timestep")
+		return fmt.Errorf("sim: TimestepSec %g must be positive", c.TimestepSec)
 	}
 	if c.SensorDelaySec < 0 {
-		return fmt.Errorf("sim: negative sensor delay")
+		return fmt.Errorf("sim: SensorDelaySec %g must be non-negative", c.SensorDelaySec)
 	}
 	if c.WarmStartFraction < 0 || c.WarmStartFraction > 1 {
-		return fmt.Errorf("sim: warm-start fraction %g outside [0,1]", c.WarmStartFraction)
+		return fmt.Errorf("sim: WarmStartFraction %g outside [0,1]", c.WarmStartFraction)
 	}
 	if c.WarmStartFraction > 0 && c.WarmStartProbeSteps <= 0 {
-		return fmt.Errorf("sim: warm start enabled with no probe steps")
+		return fmt.Errorf("sim: WarmStartProbeSteps must be positive when WarmStartFraction > 0")
 	}
 	return nil
+}
+
+// ResolvedVF returns the effective VF curve: Config.VF when set, the default
+// Table I curve otherwise.
+func (c Config) ResolvedVF() power.VFCurve {
+	if c.VF.IsZero() {
+		return power.DefaultVF()
+	}
+	return c.VF
+}
+
+// WorkloadSet returns the effective workload catalogue: Config.Workloads
+// when set, the default 27-workload catalogue otherwise.
+func (c Config) WorkloadSet() *workload.Set {
+	if c.Workloads == nil {
+		return workload.DefaultSet()
+	}
+	return c.Workloads
 }
 
 // DefaultSensorIndex is the index of the paper's preferred sensor
@@ -105,6 +157,12 @@ const DefaultSensorIndex = 3
 // and three poorly-placed ones (L2 strip, uncore corner, front end) that
 // Fig 5 shows track only the bulk warm-up.
 func defaultSensorSpots() [][2]float64 {
+	return DefaultSensorSpots()
+}
+
+// DefaultSensorSpots returns a fresh copy of the default 7-sensor HotGauge
+// placement in die metres (see defaultSensorSpots).
+func DefaultSensorSpots() [][2]float64 {
 	const mm = 1e-3
 	return [][2]float64{
 		{0.85 * mm, 1.1 * mm},  // tsens00: LSU / memory row
@@ -138,6 +196,8 @@ type Pipeline struct {
 	cfg Config
 
 	fp       *floorplan.Floorplan
+	vf       power.VFCurve
+	wset     *workload.Set
 	core     *arch.Core
 	pow      *power.Model
 	therm    *thermal.Model
@@ -155,12 +215,16 @@ type Pipeline struct {
 	cellPower  []float64
 }
 
-// New builds a pipeline over the default Skylake-like floorplan.
+// New builds a pipeline. Unset platform fields (Floorplan, VF, Workloads,
+// SensorSpots) fall back to the default Skylake-like setup.
 func New(cfg Config) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	fp := floorplan.SkylakeLike()
+	fp := cfg.Floorplan
+	if fp == nil {
+		fp = floorplan.SkylakeLike()
+	}
 	core, err := arch.NewCore(cfg.Core, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -183,7 +247,10 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 
 	delaySteps := int(cfg.SensorDelaySec/cfg.TimestepSec + 0.5)
-	spots := defaultSensorSpots()
+	spots := cfg.SensorSpots
+	if spots == nil {
+		spots = defaultSensorSpots()
+	}
 	sensors := make([]hotspot.Sensor, len(spots))
 	for i, s := range spots {
 		x, y := therm.CellAt(s[0], s[1])
@@ -201,6 +268,8 @@ func New(cfg Config) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg:        cfg,
 		fp:         fp,
+		vf:         cfg.ResolvedVF(),
+		wset:       cfg.WorkloadSet(),
 		core:       core,
 		pow:        pow,
 		therm:      therm,
@@ -236,6 +305,12 @@ func (p *Pipeline) CloneWithSeed(seed uint64) (*Pipeline, error) {
 
 // Floorplan returns the die layout.
 func (p *Pipeline) Floorplan() *floorplan.Floorplan { return p.fp }
+
+// VF returns the resolved voltage/frequency curve the pipeline steps with.
+func (p *Pipeline) VF() power.VFCurve { return p.vf }
+
+// Workloads returns the resolved workload catalogue.
+func (p *Pipeline) Workloads() *workload.Set { return p.wset }
 
 // Thermal returns the thermal model (for inspection; do not mutate).
 func (p *Pipeline) Thermal() *thermal.Model { return p.therm }
@@ -310,7 +385,7 @@ type StepResult struct {
 }
 
 // Step advances the pipeline one timestep with the workload run at the
-// given frequency. The voltage is looked up from the Table I VF curve.
+// given frequency. The voltage is looked up from the pipeline's VF curve.
 //
 // Step is the materializing compatibility wrapper around StepInto: it
 // allocates fresh sensor slices for every timestep, so callers may retain
@@ -343,7 +418,7 @@ func resize(s []float64, n int) []float64 {
 // Step, which always allocates). On error *res is left unspecified and
 // the pipeline state is unchanged.
 func (p *Pipeline) StepInto(run *workload.Run, fGHz float64, res *StepResult) error {
-	volt := power.VoltageFor(fGHz)
+	volt := p.vf.VoltageFor(fGHz)
 	params := run.ParamsAt(p.time)
 
 	counters, err := p.core.Step(params, fGHz, volt, p.cfg.TimestepSec)
@@ -440,7 +515,7 @@ func (p *Pipeline) WarmStart(w *workload.Workload, fGHz float64) error {
 // RunStatic warm-starts the pipeline and runs the named workload at a
 // fixed frequency for the given number of timesteps, returning the trace.
 func (p *Pipeline) RunStatic(name string, fGHz float64, steps int) ([]StepResult, error) {
-	w, err := workload.ByName(name)
+	w, err := p.wset.ByName(name)
 	if err != nil {
 		return nil, err
 	}

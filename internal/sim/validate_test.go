@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidateErrorPaths pins the contract that every Config
+// validation failure names the offending field, so an error bubbling out
+// of a scenario file points at the line to fix.
+func TestConfigValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"bad thermal", func(c *Config) { c.Thermal.NX = 0 }, "Thermal"},
+		{"bad power", func(c *Config) { c.Power.Scale = -1 }, "Power"},
+		{"bad core", func(c *Config) { c.Core.DispatchWidth = 0 }, "Core"},
+		{"bad severity", func(c *Config) { c.Severity.TCrit = c.Severity.TBase }, "Severity"},
+		{"bad vf", func(c *Config) { c.VF.StepGHz = -1 }, "VF"},
+		{"sensor off die", func(c *Config) { c.SensorSpots = [][2]float64{{-1, 0}} }, "SensorSpots[0]"},
+		{"zero timestep", func(c *Config) { c.TimestepSec = 0 }, "TimestepSec"},
+		{"negative delay", func(c *Config) { c.SensorDelaySec = -1 }, "SensorDelaySec"},
+		{"warm fraction", func(c *Config) { c.WarmStartFraction = 2 }, "WarmStartFraction"},
+		{"probe steps", func(c *Config) { c.WarmStartFraction = 0.5; c.WarmStartProbeSteps = 0 }, "WarmStartProbeSteps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name %q", err, tc.wantSub)
+			}
+		})
+	}
+}

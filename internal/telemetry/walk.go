@@ -8,7 +8,6 @@ import (
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/trace"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // WalkConfig describes a frequency-walk extraction campaign: each
@@ -136,7 +135,7 @@ func BuildWalkContext(ctx context.Context, cfg WalkConfig) (*Dataset, error) {
 // its instances to ds. All randomness derives from the walk's (workload,
 // walk-index) coordinates, independent of execution order.
 func buildOneWalk(cfg WalkConfig, name string, walk int, ds *Dataset) error {
-	w, err := workload.ByName(name)
+	w, err := cfg.Sim.WorkloadSet().ByName(name)
 	if err != nil {
 		return err
 	}

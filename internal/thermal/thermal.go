@@ -80,17 +80,31 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	switch {
 	case c.NX < 2 || c.NY < 2:
-		return fmt.Errorf("thermal: grid must be at least 2x2, got %dx%d", c.NX, c.NY)
+		return fmt.Errorf("thermal: Config.NX/NY grid must be at least 2x2, got %dx%d", c.NX, c.NY)
 	case c.DieW <= 0 || c.DieH <= 0:
-		return fmt.Errorf("thermal: non-positive die size")
-	case c.DieThickness <= 0 || c.TIMThickness <= 0 || c.SpreaderThickness <= 0:
-		return fmt.Errorf("thermal: non-positive layer thickness")
-	case c.Silicon.Conductivity <= 0 || c.Spreader.Conductivity <= 0 || c.TIMConductivity <= 0:
-		return fmt.Errorf("thermal: non-positive conductivity")
-	case c.Silicon.VolumetricHeatCapacity <= 0 || c.Spreader.VolumetricHeatCapacity <= 0:
-		return fmt.Errorf("thermal: non-positive heat capacity")
-	case c.SpreaderToSinkResistanceArea <= 0 || c.SinkToAmbientResistance <= 0 || c.SinkHeatCapacity <= 0:
-		return fmt.Errorf("thermal: non-positive sink parameters")
+		return fmt.Errorf("thermal: Config.DieW/DieH must be positive, got %g x %g m", c.DieW, c.DieH)
+	case c.DieThickness <= 0:
+		return fmt.Errorf("thermal: Config.DieThickness %g must be positive", c.DieThickness)
+	case c.TIMThickness <= 0:
+		return fmt.Errorf("thermal: Config.TIMThickness %g must be positive", c.TIMThickness)
+	case c.SpreaderThickness <= 0:
+		return fmt.Errorf("thermal: Config.SpreaderThickness %g must be positive", c.SpreaderThickness)
+	case c.Silicon.Conductivity <= 0:
+		return fmt.Errorf("thermal: Config.Silicon.Conductivity %g must be positive", c.Silicon.Conductivity)
+	case c.Spreader.Conductivity <= 0:
+		return fmt.Errorf("thermal: Config.Spreader.Conductivity %g must be positive", c.Spreader.Conductivity)
+	case c.TIMConductivity <= 0:
+		return fmt.Errorf("thermal: Config.TIMConductivity %g must be positive", c.TIMConductivity)
+	case c.Silicon.VolumetricHeatCapacity <= 0:
+		return fmt.Errorf("thermal: Config.Silicon.VolumetricHeatCapacity %g must be positive", c.Silicon.VolumetricHeatCapacity)
+	case c.Spreader.VolumetricHeatCapacity <= 0:
+		return fmt.Errorf("thermal: Config.Spreader.VolumetricHeatCapacity %g must be positive", c.Spreader.VolumetricHeatCapacity)
+	case c.SpreaderToSinkResistanceArea <= 0:
+		return fmt.Errorf("thermal: Config.SpreaderToSinkResistanceArea %g must be positive", c.SpreaderToSinkResistanceArea)
+	case c.SinkToAmbientResistance <= 0:
+		return fmt.Errorf("thermal: Config.SinkToAmbientResistance %g must be positive", c.SinkToAmbientResistance)
+	case c.SinkHeatCapacity <= 0:
+		return fmt.Errorf("thermal: Config.SinkHeatCapacity %g must be positive", c.SinkHeatCapacity)
 	}
 	return nil
 }

@@ -1,0 +1,43 @@
+package thermal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidateErrorPaths pins the contract that every Config
+// validation failure names the offending field.
+func TestConfigValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"tiny grid", func(c *Config) { c.NX = 1 }, "NX"},
+		{"zero die", func(c *Config) { c.DieW = 0 }, "DieW"},
+		{"negative die thickness", func(c *Config) { c.DieThickness = -1 }, "DieThickness"},
+		{"zero tim thickness", func(c *Config) { c.TIMThickness = 0 }, "TIMThickness"},
+		{"zero spreader thickness", func(c *Config) { c.SpreaderThickness = 0 }, "SpreaderThickness"},
+		{"silicon conductivity", func(c *Config) { c.Silicon.Conductivity = 0 }, "Silicon.Conductivity"},
+		{"spreader conductivity", func(c *Config) { c.Spreader.Conductivity = 0 }, "Spreader.Conductivity"},
+		{"tim conductivity", func(c *Config) { c.TIMConductivity = 0 }, "TIMConductivity"},
+		{"silicon heat capacity", func(c *Config) { c.Silicon.VolumetricHeatCapacity = 0 }, "Silicon.VolumetricHeatCapacity"},
+		{"spreader heat capacity", func(c *Config) { c.Spreader.VolumetricHeatCapacity = 0 }, "Spreader.VolumetricHeatCapacity"},
+		{"spreader-sink resistance", func(c *Config) { c.SpreaderToSinkResistanceArea = 0 }, "SpreaderToSinkResistanceArea"},
+		{"sink resistance", func(c *Config) { c.SinkToAmbientResistance = 0 }, "SinkToAmbientResistance"},
+		{"sink capacity", func(c *Config) { c.SinkHeatCapacity = 0 }, "SinkHeatCapacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -153,7 +153,7 @@ func Drive(p *sim.Pipeline, run *workload.Run, freqFn func(step int) float64, st
 // bit-identical to the materializing path: same warm start, same run
 // seed, same step sequence.
 func RunStatic(p *sim.Pipeline, name string, fGHz float64, steps int, obs ...Observer) error {
-	w, err := workload.ByName(name)
+	w, err := p.Workloads().ByName(name)
 	if err != nil {
 		return err
 	}

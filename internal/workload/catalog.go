@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"fmt"
-
 	"github.com/hotgauge/boreas/internal/arch"
 )
 
@@ -174,6 +172,9 @@ var catalog = []Workload{
 }
 
 // TrainNames lists the Table III training-set workloads.
+//
+// Deprecated: use a platform-scoped Set (Set.TrainNames); this global
+// describes the default catalogue only. Do not mutate.
 var TrainNames = []string{
 	"milc", "bwaves", "soplex", "gobmk", "sjeng", "leslie3d", "gcc",
 	"calculix", "perlbench", "astar", "tonto", "zeusmp", "wrf", "lbm",
@@ -181,28 +182,28 @@ var TrainNames = []string{
 }
 
 // TestNames lists the Table III test-set workloads.
+//
+// Deprecated: use a platform-scoped Set (Set.TestNames); this global
+// describes the default catalogue only. Do not mutate.
 var TestNames = []string{
 	"cactusADM", "omnetpp", "GemsFDTD", "h264ref", "bzip2", "hmmer", "gamess",
 }
 
 // Catalog returns the full 27-workload catalogue. The returned slice is
 // freshly allocated; the Workload values are shared and immutable.
+//
+// Deprecated: use a platform-scoped Set (Set.Catalog); this wrapper always
+// returns the default catalogue.
 func Catalog() []*Workload {
-	out := make([]*Workload, len(catalog))
-	for i := range catalog {
-		out[i] = &catalog[i]
-	}
-	return out
+	return DefaultSet().Catalog()
 }
 
 // ByName returns the named workload or an error.
+//
+// Deprecated: use a platform-scoped Set (Set.ByName); this wrapper always
+// consults the default catalogue.
 func ByName(name string) (*Workload, error) {
-	for i := range catalog {
-		if catalog[i].Name == name {
-			return &catalog[i], nil
-		}
-	}
-	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	return DefaultSet().ByName(name)
 }
 
 func init() {

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Set is a self-contained workload catalogue plus its train/test split: the
+// platform-scoped replacement for the package-level Catalog/TrainNames/
+// TestNames globals. A Set is immutable after construction and safe for
+// concurrent use.
+//
+// Seed decorrelation offsets are assigned by catalogue position exactly as
+// the package init() does for the default catalogue (entry i gets offset
+// i+1), so a Set built from the default catalogue in the default order is
+// behaviourally bit-identical to the globals.
+type Set struct {
+	workloads []Workload
+	byName    map[string]*Workload
+	train     []string
+	test      []string
+}
+
+// NewSet builds a validated Set. The workloads are copied; each entry is
+// assigned its seed-decorrelation offset from its position (i+1) and
+// validated. Train and test names must exist in the catalogue, contain no
+// duplicates, and not overlap each other.
+func NewSet(workloads []Workload, train, test []string) (*Set, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("workload: Set needs at least one workload")
+	}
+	s := &Set{
+		workloads: append([]Workload(nil), workloads...),
+		byName:    make(map[string]*Workload, len(workloads)),
+		train:     append([]string(nil), train...),
+		test:      append([]string(nil), test...),
+	}
+	for i := range s.workloads {
+		w := &s.workloads[i]
+		w.seedOffset = uint64(i + 1)
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: Set entry %d: %w", i, err)
+		}
+		if _, dup := s.byName[w.Name]; dup {
+			return nil, fmt.Errorf("workload: Set has duplicate workload %q", w.Name)
+		}
+		s.byName[w.Name] = w
+	}
+	seen := make(map[string]string, len(train)+len(test))
+	checkSplit := func(split string, names []string) error {
+		for _, name := range names {
+			if _, ok := s.byName[name]; !ok {
+				return fmt.Errorf("workload: Set %s split names unknown workload %q", split, name)
+			}
+			if prev, dup := seen[name]; dup {
+				if prev == split {
+					return fmt.Errorf("workload: Set %s split lists %q twice", split, name)
+				}
+				return fmt.Errorf("workload: workload %q appears in both train and test splits", name)
+			}
+			seen[name] = split
+		}
+		return nil
+	}
+	if err := checkSplit("train", s.train); err != nil {
+		return nil, err
+	}
+	if err := checkSplit("test", s.test); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Catalog returns the full catalogue. The returned slice is freshly
+// allocated; the Workload values are shared and immutable.
+func (s *Set) Catalog() []*Workload {
+	out := make([]*Workload, len(s.workloads))
+	for i := range s.workloads {
+		out[i] = &s.workloads[i]
+	}
+	return out
+}
+
+// ByName returns the named workload or an error.
+func (s *Set) ByName(name string) (*Workload, error) {
+	if w, ok := s.byName[name]; ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the catalogue names in catalogue order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.workloads))
+	for i := range s.workloads {
+		out[i] = s.workloads[i].Name
+	}
+	return out
+}
+
+// TrainNames returns a copy of the training-split workload names.
+func (s *Set) TrainNames() []string { return append([]string(nil), s.train...) }
+
+// TestNames returns a copy of the test-split workload names.
+func (s *Set) TestNames() []string { return append([]string(nil), s.test...) }
+
+// Len returns the number of workloads in the catalogue.
+func (s *Set) Len() int { return len(s.workloads) }
+
+// Validate re-checks the Set's invariants (used by platform.Validate; a Set
+// built by NewSet is always valid).
+func (s *Set) Validate() error {
+	if s == nil || len(s.workloads) == 0 {
+		return fmt.Errorf("workload: empty Set")
+	}
+	rebuilt, err := NewSet(s.workloads, s.train, s.test)
+	if err != nil {
+		return err
+	}
+	for i := range s.workloads {
+		if s.workloads[i].seedOffset != rebuilt.workloads[i].seedOffset {
+			return fmt.Errorf("workload: Set entry %d has inconsistent seed offset", i)
+		}
+	}
+	return nil
+}
+
+var defaultSet = mustDefaultSet()
+
+func mustDefaultSet() *Set {
+	s, err := NewSet(catalog, TrainNames, TestNames)
+	if err != nil {
+		panic("workload: default set invalid: " + err.Error())
+	}
+	return s
+}
+
+// DefaultSet returns the paper's 27-workload catalogue with the Table III
+// train/test split as a Set. The same instance is returned on every call.
+func DefaultSet() *Set { return defaultSet }
+
+// jsonSet is the scenario-file schema for a Set. Workload and Phase entries
+// serialize with their Go field names; seed offsets are positional and are
+// reassigned on load.
+type jsonSet struct {
+	Workloads []Workload `json:"workloads"`
+	Train     []string   `json:"train"`
+	Test      []string   `json:"test"`
+}
+
+// MarshalJSON encodes the catalogue and split. Seed offsets are not encoded:
+// they are a pure function of catalogue position.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSet{Workloads: s.workloads, Train: s.train, Test: s.test})
+}
+
+// UnmarshalJSON decodes and fully validates a Set (via NewSet).
+func (s *Set) UnmarshalJSON(b []byte) error {
+	var js jsonSet
+	if err := json.Unmarshal(b, &js); err != nil {
+		return fmt.Errorf("workload: decoding Set: %w", err)
+	}
+	ns, err := NewSet(js.Workloads, js.Train, js.Test)
+	if err != nil {
+		return err
+	}
+	*s = *ns
+	return nil
+}

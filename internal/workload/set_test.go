@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDefaultSetMatchesGlobals pins the bit-identity contract: the default
+// Set reproduces the package globals exactly, including the positional seed
+// offsets that decorrelate per-workload random streams.
+func TestDefaultSetMatchesGlobals(t *testing.T) {
+	s := DefaultSet()
+	if s.Len() != len(catalog) {
+		t.Fatalf("DefaultSet has %d workloads, catalogue has %d", s.Len(), len(catalog))
+	}
+	for i := range catalog {
+		g := &catalog[i]
+		w, err := s.ByName(g.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", g.Name, err)
+		}
+		if w.seedOffset != g.seedOffset {
+			t.Fatalf("%s: set seedOffset %d != global %d", g.Name, w.seedOffset, g.seedOffset)
+		}
+		// NewRun seeds must agree bit for bit.
+		if w.NewRun(12345).Seed() != g.NewRun(12345).Seed() {
+			t.Fatalf("%s: decorrelated seed diverges between set and global", g.Name)
+		}
+		if w.Intensity != g.Intensity || w.Jitter != g.Jitter || len(w.Phases) != len(g.Phases) {
+			t.Fatalf("%s: definition diverges between set and global", g.Name)
+		}
+	}
+	train, test := s.TrainNames(), s.TestNames()
+	if len(train) != len(TrainNames) || len(test) != len(TestNames) {
+		t.Fatalf("split sizes %d/%d != global %d/%d", len(train), len(test), len(TrainNames), len(TestNames))
+	}
+	for i := range train {
+		if train[i] != TrainNames[i] {
+			t.Fatalf("train[%d] = %q != %q", i, train[i], TrainNames[i])
+		}
+	}
+	for i := range test {
+		if test[i] != TestNames[i] {
+			t.Fatalf("test[%d] = %q != %q", i, test[i], TestNames[i])
+		}
+	}
+}
+
+func TestNewSetErrors(t *testing.T) {
+	base := append([]Workload(nil), catalog...)
+	cases := []struct {
+		name    string
+		build   func() (*Set, error)
+		wantSub string
+	}{
+		{"empty", func() (*Set, error) { return NewSet(nil, nil, nil) }, "at least one"},
+		{"duplicate workload", func() (*Set, error) {
+			dup := append(append([]Workload(nil), base...), base[0])
+			return NewSet(dup, nil, nil)
+		}, "duplicate"},
+		{"unknown train name", func() (*Set, error) {
+			return NewSet(base, []string{"no-such-bench"}, nil)
+		}, "unknown workload"},
+		{"train/test overlap", func() (*Set, error) {
+			return NewSet(base, []string{"hmmer"}, []string{"hmmer"})
+		}, "both train and test"},
+		{"train listed twice", func() (*Set, error) {
+			return NewSet(base, []string{"hmmer", "hmmer"}, nil)
+		}, "twice"},
+		{"invalid workload", func() (*Set, error) {
+			bad := append([]Workload(nil), base...)
+			bad[3].Intensity = -1
+			return NewSet(bad, nil, nil)
+		}, "intensity"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.build()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q lacks %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := DefaultSet()
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round trip lost workloads: %d != %d", back.Len(), s.Len())
+	}
+	for i := range s.workloads {
+		a, b := s.workloads[i], back.workloads[i]
+		if a.Name != b.Name || a.seedOffset != b.seedOffset ||
+			a.Intensity != b.Intensity || a.Jitter != b.Jitter || a.Transition != b.Transition {
+			t.Fatalf("workload %d diverges after round trip: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Phases {
+			if a.Phases[j] != b.Phases[j] {
+				t.Fatalf("workload %s phase %d diverges after round trip", a.Name, j)
+			}
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped set invalid: %v", err)
+	}
+	// Behavioural check: phase params at arbitrary time are bit-identical.
+	for i := range s.workloads {
+		ra := s.workloads[i].NewRun(7)
+		rb := back.workloads[i].NewRun(7)
+		if ra.ParamsAt(1.234e-3) != rb.ParamsAt(1.234e-3) {
+			t.Fatalf("workload %s behaviour diverges after round trip", s.workloads[i].Name)
+		}
+	}
+}
