@@ -11,7 +11,7 @@ GO ?= go
 GOFMT ?= gofmt
 SCENARIO := examples/platforms/mobile-7nm.json
 
-.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke ci bench bench-parallel bench-trace bench-gbt clean
+.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke soak-smoke ci bench bench-parallel bench-trace bench-gbt clean
 
 all: build
 
@@ -62,7 +62,22 @@ smoke:
 	$(GO) run ./cmd/boreas -platform $(SCENARIO) -quick -experiment table1 > /dev/null
 	$(GO) run ./cmd/boreas -quick -experiment table1 > /dev/null
 
-ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke
+# Crash-safety smoke: the chaos kill/resume cycle (interrupt a
+# checkpointed campaign at a seed-derived point, resume, byte-compare
+# against an uninterrupted run), the CLI SIGINT contract (exit 3, saved
+# resumable checkpoint, no temp files), and a -deadline run that must
+# stop with exit code 3 and leave a resumable directory behind.
+soak-smoke:
+	$(GO) test -run 'TestChaosKillResumeSmoke|TestInterruptSavesCheckpoint' ./internal/experiments ./cmd/boreas
+	@rm -rf smoke_ckpt; \
+	$(GO) build -o smoke_boreas ./cmd/boreas; \
+	./smoke_boreas -quick -experiment fig7 -checkpoint smoke_ckpt -deadline 5s > /dev/null 2>&1; \
+	code=$$?; rm -f smoke_boreas; \
+	if [ $$code -ne 3 ]; then echo "deadline smoke: exit $$code, want 3"; rm -rf smoke_ckpt; exit 1; fi; \
+	if [ ! -f smoke_ckpt/manifest.json ]; then echo "deadline smoke: no checkpoint saved"; rm -rf smoke_ckpt; exit 1; fi; \
+	rm -rf smoke_ckpt; echo "deadline smoke: exit 3 with resumable checkpoint, as intended"
+
+ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke soak-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

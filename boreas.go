@@ -34,6 +34,7 @@ package boreas
 import (
 	"context"
 
+	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
 	"github.com/hotgauge/boreas/internal/experiments"
@@ -264,6 +265,13 @@ func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
 // TrainPredictor fits the Boreas severity predictor.
 func TrainPredictor(ds *Dataset, cfg TrainConfig) (*Predictor, error) { return core.Train(ds, cfg) }
 
+// TrainPredictorContext is TrainPredictor with cancellation: the context
+// is checked each boosting round, so SIGINT or a deadline stops a long
+// train within one round instead of running to completion.
+func TrainPredictorContext(ctx context.Context, ds *Dataset, cfg TrainConfig) (*Predictor, error) {
+	return core.TrainContext(ctx, ds, cfg)
+}
+
 // NewMLController builds an ML-xx controller (guardband 0, 0.05, 0.10 for
 // the paper's ML00/ML05/ML10).
 func NewMLController(pred *Predictor, guardband float64) (*MLController, error) {
@@ -422,3 +430,34 @@ func NewLab(cfg ExperimentConfig) (*Lab, error) { return experiments.NewLab(cfg)
 func NewLabContext(ctx context.Context, cfg ExperimentConfig) (*Lab, error) {
 	return experiments.NewLabContext(ctx, cfg)
 }
+
+// Crash-safe campaigns. A Checkpoint is a content-addressed artifact
+// store: every completed campaign cell (dataset fragment, trained model,
+// evaluation-grid result) is persisted atomically as it finishes, so an
+// interrupted campaign resumes from where it died and its final
+// artifacts are bit-identical to an uninterrupted run. Wire one into
+// ExperimentConfig.Checkpoint (or the CLIs' -checkpoint flag).
+type (
+	// Checkpoint is a crash-safe, content-addressed artifact store.
+	Checkpoint = checkpoint.Store
+	// CheckpointStats counts cache hits/misses/writes/quarantines.
+	CheckpointStats = checkpoint.Stats
+)
+
+// ErrCheckpointCorrupt wraps every "these bytes cannot be trusted"
+// condition in a checkpoint store; test with errors.Is and fall back to
+// RecoverCheckpoint.
+var ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+
+// ErrCheckpointScopeMismatch is returned when a checkpoint directory
+// holds cells for a different campaign configuration; test with
+// errors.Is and fall back to a clean run or a fresh directory.
+var ErrCheckpointScopeMismatch = checkpoint.ErrScopeMismatch
+
+// OpenCheckpoint creates or reopens a checkpoint directory. A corrupt
+// manifest yields an ErrCheckpointCorrupt error.
+func OpenCheckpoint(dir string) (*Checkpoint, error) { return checkpoint.Open(dir) }
+
+// RecoverCheckpoint quarantines a corrupt checkpoint directory's
+// contents (preserved for inspection) and opens a fresh store in place.
+func RecoverCheckpoint(dir string) (*Checkpoint, error) { return checkpoint.Recover(dir) }

@@ -7,18 +7,29 @@
 //	boreas -quick -experiment faults        # controllers under injected telemetry faults
 //	boreas -platform mobile-7nm -quick -experiment fig7      # on a registered variant
 //	boreas -platform scenario.json -experiment fig2          # on a scenario file
+//	boreas -experiment all -checkpoint ckpt                  # crash-safe: completed work persists
+//	boreas -experiment all -checkpoint ckpt -resume          # continue an interrupted campaign
+//	boreas -experiment all -checkpoint ckpt -deadline 30m    # stop cleanly after 30 minutes (exit 3)
+//
+// Ctrl-C (or SIGTERM, or the -deadline) stops the run at the next cell
+// boundary with exit code 3; with -checkpoint, everything finished so
+// far is saved and a -resume rerun picks up where it left off, with
+// artefacts bit-identical to an uninterrupted run.
 package main
 
 import (
-	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"github.com/hotgauge/boreas/internal/atomicio"
+	"github.com/hotgauge/boreas/internal/checkpoint"
+	"github.com/hotgauge/boreas/internal/cliutil"
 	"github.com/hotgauge/boreas/internal/experiments"
 	"github.com/hotgauge/boreas/internal/hotspot"
 	"github.com/hotgauge/boreas/internal/platform"
@@ -39,9 +50,11 @@ func main() {
 		workers = flag.Int("j", runner.DefaultWorkers(), "campaign parallelism (simulation runs in flight); results are identical at any -j")
 		pfArg   = flag.String("platform", "skylake-7nm", "platform: a registered name ("+strings.Join(platform.Names(), ", ")+") or a scenario .json file")
 	)
+	ck := cliutil.RegisterFlags()
 	flag.Parse()
+	checkpointDir = ck.Dir
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := ck.Context()
 	defer stop()
 
 	// The default platform keeps the historical DefaultConfig/QuickConfig
@@ -68,8 +81,23 @@ func main() {
 		fmt.Println()
 	}
 	cfg.Workers = *workers
+	store, err := ck.OpenStore("boreas")
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Checkpoint = store
 	fmt.Printf("boreas: running with -j %d\n\n", runner.Normalize(*workers))
 	lab, err := experiments.NewLabContext(ctx, cfg)
+	if err != nil && errors.Is(err, checkpoint.ErrScopeMismatch) && !ck.Resume {
+		// The directory belongs to a differently-configured campaign.
+		// Without -resume that is a warning, not a failure: run clean with
+		// checkpointing off rather than mixing artefacts across campaigns.
+		fmt.Fprintf(os.Stderr, "boreas: %v\n", err)
+		fmt.Fprintln(os.Stderr, "boreas: running without checkpointing")
+		cfg.Checkpoint = nil
+		checkpointDir = ""
+		lab, err = experiments.NewLabContext(ctx, cfg)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -180,7 +208,7 @@ func main() {
 			for name, runs := range r.Runs {
 				for ctrl, lr := range runs {
 					path := filepath.Join(*out, fmt.Sprintf("fig8_%s_%s.csv", name, ctrl))
-					if err := os.WriteFile(path, []byte(experiments.TraceCSV(lr, lab.Config().Sim.TimestepSec)), 0o644); err != nil {
+					if err := atomicio.WriteFile(path, []byte(experiments.TraceCSV(lr, lab.Config().Sim.TimestepSec)), 0o644); err != nil {
 						return "", err
 					}
 				}
@@ -238,23 +266,35 @@ func main() {
 }
 
 func writeFig5CSV(dir string, r *experiments.Fig5Result) error {
-	var b strings.Builder
-	b.WriteString("time_ms")
-	for _, n := range r.SensorNames {
-		b.WriteString("," + n)
-	}
-	b.WriteString(",severity\n")
-	for i := range r.TimesMs {
-		fmt.Fprintf(&b, "%.3f", r.TimesMs[i])
-		for s := range r.SensorNames {
-			fmt.Fprintf(&b, ",%.2f", r.SensorTemps[s][i])
+	return atomicio.WriteTo(filepath.Join(dir, "fig5_sensors.csv"), 0o644, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "time_ms"); err != nil {
+			return err
 		}
-		fmt.Fprintf(&b, ",%.4f\n", r.Severity[i])
-	}
-	return os.WriteFile(filepath.Join(dir, "fig5_sensors.csv"), []byte(b.String()), 0o644)
+		for _, n := range r.SensorNames {
+			if _, err := io.WriteString(w, ","+n); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, ",severity\n"); err != nil {
+			return err
+		}
+		for i := range r.TimesMs {
+			fmt.Fprintf(w, "%.3f", r.TimesMs[i])
+			for s := range r.SensorNames {
+				fmt.Fprintf(w, ",%.2f", r.SensorTemps[s][i])
+			}
+			if _, err := fmt.Fprintf(w, ",%.4f\n", r.Severity[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
+// checkpointDir names the active -checkpoint directory for the
+// interrupted-exit resume hint ("" when checkpointing is off).
+var checkpointDir string
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "boreas:", err)
-	os.Exit(1)
+	cliutil.Fatal("boreas", err, checkpointDir)
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hotgauge/boreas/internal/atomicio"
+	"github.com/hotgauge/boreas/internal/checkpoint"
+)
+
+// TestInterruptSavesCheckpoint is the end-to-end crash-safety contract:
+// start a checkpointed campaign, SIGINT it mid-flight, and verify the
+// process exits with code 3, prints the -resume hint, leaves a loadable
+// checkpoint directory with completed cells, and leaves no temp files
+// behind.
+func TestInterruptSavesCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "boreas")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building boreas: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(bin, "-quick", "-experiment", "fig7", "-checkpoint", dir, "-j", "1")
+	var output bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &output, &output
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the campaign to persist at least one cell, then interrupt.
+	// (Do not checkpoint.Open the live directory: Open sweeps temp files,
+	// which would race the writer.)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if entries, err := os.ReadDir(filepath.Join(dir, "cells")); err == nil && len(completedCells(entries)) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint cell appeared before the campaign was interrupted; output so far:\n%s", output.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("boreas did not exit after SIGINT; output:\n%s", output.String())
+	}
+
+	exitErr, ok := waitErr.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected a non-zero exit after SIGINT, got %v; output:\n%s", waitErr, output.String())
+	}
+	if code := exitErr.ExitCode(); code != 3 {
+		t.Errorf("exit code = %d, want 3 (interrupted); output:\n%s", code, output.String())
+	}
+	if !strings.Contains(output.String(), "-resume") {
+		t.Errorf("interrupted run did not print the -resume hint; output:\n%s", output.String())
+	}
+
+	// The directory must contain no leftover temp files and load cleanly
+	// with every recorded cell intact.
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && atomicio.IsTempName(d.Name()) {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("checkpoint directory does not load after interrupt: %v", err)
+	}
+	if store.Len() == 0 {
+		t.Error("no completed cells survived the interrupt")
+	}
+}
+
+// completedCells filters out in-flight atomic temp files.
+func completedCells(entries []os.DirEntry) []os.DirEntry {
+	var done []os.DirEntry
+	for _, e := range entries {
+		if !atomicio.IsTempName(e.Name()) {
+			done = append(done, e)
+		}
+	}
+	return done
+}

@@ -7,14 +7,27 @@
 //	hotgauge -mode walk -set train -o walk.csv
 //	hotgauge -platform mobile-7nm -mode trace -workload gromacs -freq 4.0
 //	hotgauge -platform examples/platforms/mobile-7nm.json -mode dataset -set train
+//	hotgauge -mode dataset -set train -o train.csv -checkpoint ckpt
+//
+// With -checkpoint, dataset and walk extractions persist each completed
+// (workload, frequency) or (workload, walk) fragment; an interrupted run
+// (Ctrl-C, SIGTERM or -deadline, exit code 3) recomputes only the
+// missing fragments when re-run, and the output CSV is byte-identical
+// to an uninterrupted extraction. Output files are written atomically:
+// a partial CSV never replaces a good one.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"github.com/hotgauge/boreas/internal/atomicio"
+	"github.com/hotgauge/boreas/internal/checkpoint"
+	"github.com/hotgauge/boreas/internal/cliutil"
 	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
@@ -33,26 +46,27 @@ func main() {
 		workers = flag.Int("j", runner.DefaultWorkers(), "simulation runs in flight (dataset/walk modes); output is byte-identical at any -j")
 		pfArg   = flag.String("platform", "skylake-7nm", "platform: a registered name or a scenario .json file")
 	)
+	ck := cliutil.RegisterFlags()
 	flag.Parse()
+	checkpointDir = ck.Dir
+
+	ctx, stop := ck.Context()
+	defer stop()
 
 	pf, err := platform.Resolve(*pfArg)
 	if err != nil {
 		fatal(err)
 	}
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
+	store, err := ck.OpenStore("hotgauge")
+	if err != nil {
+		fatal(err)
 	}
 
 	switch *mode {
 	case "trace":
-		if err := dumpTrace(w, pf, *wl, *freq, *steps); err != nil {
+		if err := writeOutput(*out, func(w io.Writer) error {
+			return dumpTrace(w, pf, *wl, *freq, *steps)
+		}); err != nil {
 			fatal(err)
 		}
 	case "dataset":
@@ -65,12 +79,18 @@ func main() {
 		cfg.SensorIndex = pf.SensorIndex
 		cfg.StepsPerRun = *steps
 		cfg.Workers = *workers
-		t0 := time.Now()
-		ds, err := telemetry.Build(cfg)
+		scope, err := cfg.BuildScope()
 		if err != nil {
 			fatal(err)
 		}
-		if err := ds.WriteCSV(w); err != nil {
+		cfg.Checkpoint = bindStore(store, scope,
+			fmt.Sprintf("hotgauge dataset: %d workloads, %d frequencies, %d steps", len(names), len(cfg.Frequencies), *steps), ck.Resume)
+		t0 := time.Now()
+		ds, err := telemetry.BuildContext(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOutput(*out, ds.WriteCSV); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances in %.1fs (-j %d)\n",
@@ -84,12 +104,18 @@ func main() {
 		cfg.Sim = pf.SimConfig()
 		cfg.SensorIndex = pf.SensorIndex
 		cfg.Workers = *workers
-		t0 := time.Now()
-		ds, err := telemetry.BuildWalk(cfg)
+		scope, err := cfg.WalkScope()
 		if err != nil {
 			fatal(err)
 		}
-		if err := ds.WriteCSV(w); err != nil {
+		cfg.Checkpoint = bindStore(store, scope,
+			fmt.Sprintf("hotgauge walk: %d workloads, %d walks each", len(names), cfg.WalksPerWorkload), ck.Resume)
+		t0 := time.Now()
+		ds, err := telemetry.BuildWalkContext(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOutput(*out, ds.WriteCSV); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "hotgauge: wrote %d instances in %.1fs (-j %d)\n",
@@ -97,6 +123,34 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// bindStore records the campaign fingerprint in the store. A mismatch
+// (the directory holds another campaign's fragments) is fatal under
+// -resume; otherwise the run continues clean with checkpointing off.
+func bindStore(store *checkpoint.Store, scope checkpoint.Scope, desc string, resume bool) *checkpoint.Store {
+	if store == nil {
+		return nil
+	}
+	err := store.Bind(scope, desc)
+	if err == nil {
+		return store
+	}
+	if resume || !errors.Is(err, checkpoint.ErrScopeMismatch) {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hotgauge: %v\nhotgauge: running without checkpointing\n", err)
+	checkpointDir = ""
+	return nil
+}
+
+// writeOutput streams the payload to path via an atomic replace, or to
+// stdout when path is empty.
+func writeOutput(path string, write func(w io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	return atomicio.WriteTo(path, 0o644, write)
 }
 
 func setNames(pf *platform.Platform, set string) ([]string, error) {
@@ -111,7 +165,7 @@ func setNames(pf *platform.Platform, set string) ([]string, error) {
 	return nil, fmt.Errorf("unknown set %q (train|test|all)", set)
 }
 
-func dumpTrace(w *os.File, pf *platform.Platform, name string, freq float64, steps int) error {
+func dumpTrace(w io.Writer, pf *platform.Platform, name string, freq float64, steps int) error {
 	p, err := sim.New(pf.SimConfig())
 	if err != nil {
 		return err
@@ -128,7 +182,10 @@ func dumpTrace(w *os.File, pf *platform.Platform, name string, freq float64, ste
 		}))
 }
 
+// checkpointDir names the active -checkpoint directory for the
+// interrupted-exit resume hint ("" when checkpointing is off).
+var checkpointDir string
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hotgauge:", err)
-	os.Exit(1)
+	cliutil.Fatal("hotgauge", err, checkpointDir)
 }

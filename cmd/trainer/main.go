@@ -18,14 +18,29 @@
 // bins (256 when unset) and scans bin histograms instead — much faster
 // on large datasets at a small, bounded accuracy cost. Both produce
 // models in the same format, bit-identical at any -j.
+//
+//	trainer -data train.csv -model boreas.gbt -checkpoint ckpt
+//
+// With -checkpoint, training snapshots the partial ensemble every few
+// boosting rounds, keyed by a fingerprint of the dataset bytes, the
+// feature set and the hyper-parameters. An interrupted run (Ctrl-C,
+// SIGTERM or -deadline, exit code 3) resumes from the last snapshot and
+// produces a bit-identical model. Model files are written atomically.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
+	"github.com/hotgauge/boreas/internal/checkpoint"
+	"github.com/hotgauge/boreas/internal/cliutil"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
 	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/runner"
@@ -49,7 +64,12 @@ func main() {
 		workers = flag.Int("j", runner.DefaultWorkers(), "split-search parallelism; the trained model is identical at any -j")
 		pfArg   = flag.String("platform", "", "optional platform (registered name or scenario .json) to cross-check the dataset's workloads against")
 	)
+	ck := cliutil.RegisterFlags()
 	flag.Parse()
+	checkpointDir = ck.Dir
+
+	ctx, stop := ck.Context()
+	defer stop()
 
 	if *inspect {
 		if *model == "" {
@@ -82,7 +102,7 @@ func main() {
 	if *data == "" {
 		fatal(fmt.Errorf("-data is required"))
 	}
-	ds, err := readCSV(*data)
+	ds, dataSHA, err := readCSV(*data)
 	if err != nil {
 		fatal(err)
 	}
@@ -131,8 +151,13 @@ func main() {
 		fmt.Printf("training final model with trees=%d depth=%d\n", params.NumTrees, params.MaxDepth)
 	}
 
+	hooks, err := trainHooks(ck, *data, dataSHA, sel.FeatureNames, params)
+	if err != nil {
+		fatal(err)
+	}
+
 	t0 := time.Now()
-	m, err := gbt.Train(sel.X, sel.Y, sel.FeatureNames, params)
+	m, err := gbt.TrainContextHooks(ctx, sel.X, sel.Y, sel.FeatureNames, params, hooks)
 	if err != nil {
 		fatal(err)
 	}
@@ -140,7 +165,7 @@ func main() {
 		time.Since(t0).Seconds(), *method, runner.Normalize(params.Workers), m.MSE(sel.X, sel.Y), sel.Len())
 
 	if *test != "" {
-		tds, err := readCSV(*test)
+		tds, _, err := readCSV(*test)
 		if err != nil {
 			fatal(err)
 		}
@@ -152,17 +177,63 @@ func main() {
 	}
 
 	if *model != "" {
-		f, err := os.Create(*model)
+		if err := m.SaveFile(*model); err != nil {
+			fatal(err)
+		}
+		info, err := os.Stat(*model)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		n, err := m.WriteTo(f)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s (%d bytes; hardware weight budget %d bytes)\n", *model, n, m.WeightBytes())
+		fmt.Printf("wrote %s (%d bytes; hardware weight budget %d bytes)\n", *model, info.Size(), m.WeightBytes())
 	}
+}
+
+// trainHooks wires the -checkpoint store into the boosting loop: the
+// partial ensemble persists every few rounds under a key derived from
+// the dataset bytes, the feature set and the hyper-parameters
+// (Workers excluded — it never affects the trained model), and an
+// existing snapshot resumes training at its round. A snapshot that does
+// not match this run's configuration is simply not found under the new
+// scope; a mismatched store is fatal under -resume, otherwise training
+// starts clean with checkpointing off.
+func trainHooks(ck *cliutil.Options, dataPath, dataSHA string, features []string, params gbt.Params) (gbt.TrainHooks, error) {
+	store, err := ck.OpenStore("trainer")
+	if err != nil || store == nil {
+		return gbt.TrainHooks{}, err
+	}
+	scopeParams := params
+	scopeParams.Workers = 0
+	scope, err := checkpoint.NewScope("trainer/v1", dataSHA, features, scopeParams)
+	if err != nil {
+		return gbt.TrainHooks{}, err
+	}
+	desc := fmt.Sprintf("trainer: %s (sha %.12s), %d trees depth %d", filepath.Base(dataPath), dataSHA, params.NumTrees, params.MaxDepth)
+	if err := store.Bind(scope, desc); err != nil {
+		if ck.Resume || !errors.Is(err, checkpoint.ErrScopeMismatch) {
+			return gbt.TrainHooks{}, err
+		}
+		fmt.Fprintf(os.Stderr, "trainer: %v\ntrainer: running without checkpointing\n", err)
+		checkpointDir = ""
+		return gbt.TrainHooks{}, nil
+	}
+	key := scope.Key("model-snapshot")
+	hooks := gbt.TrainHooks{Snapshot: func(m *gbt.Model) error {
+		b, err := m.Bytes()
+		if err != nil {
+			return err
+		}
+		return store.Put(key, "model-snapshot", b)
+	}}
+	if data, ok := store.Get(key); ok {
+		m, err := gbt.LoadModel(data)
+		if err != nil {
+			store.Discard(key, fmt.Sprintf("snapshot does not decode: %v", err))
+			return hooks, nil
+		}
+		hooks.Resume = m
+		fmt.Fprintf(os.Stderr, "trainer: resuming from checkpoint snapshot at %d/%d trees\n", len(m.Trees), params.NumTrees)
+	}
+	return hooks, nil
 }
 
 // checkWorkloads verifies every workload name in the dataset exists in
@@ -181,16 +252,26 @@ func checkWorkloads(pf *platform.Platform, ds *telemetry.Dataset) error {
 	return nil
 }
 
-func readCSV(path string) (*telemetry.Dataset, error) {
+// readCSV loads a dataset and returns the hex SHA-256 of its raw bytes,
+// which keys checkpoint snapshots to the exact training data.
+func readCSV(path string) (*telemetry.Dataset, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
-	return telemetry.ReadCSV(f)
+	h := sha256.New()
+	ds, err := telemetry.ReadCSV(io.TeeReader(f, h))
+	if err != nil {
+		return nil, "", err
+	}
+	return ds, hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// checkpointDir names the active -checkpoint directory for the
+// interrupted-exit resume hint ("" when checkpointing is off).
+var checkpointDir string
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "trainer:", err)
-	os.Exit(1)
+	cliutil.Fatal("trainer", err, checkpointDir)
 }

@@ -1,0 +1,123 @@
+// Package atomicio is the repository's single implementation of
+// crash-safe file replacement. Every artefact writer that must never
+// leave a half-written file behind — GBT model saves, platform scenario
+// files, dataset CSV dumps, checkpoint cells and manifests — goes
+// through WriteTo/WriteFile instead of os.Create/os.WriteFile.
+//
+// The protocol is the classic temp + fsync + rename:
+//
+//  1. The payload is written to a hidden temporary file in the target's
+//     directory (same filesystem, so the final rename cannot cross a
+//     device boundary).
+//  2. The temporary file is fsync'd before rename: a rename made durable
+//     before its data would be exactly the torn state the protocol
+//     exists to rule out.
+//  3. rename(2) replaces the target in one atomic step — readers see
+//     either the complete old file or the complete new file, never a
+//     prefix.
+//  4. The directory is fsync'd (best-effort) so the rename itself
+//     survives a power cut.
+//
+// On any error the temporary file is removed, so failed writes leave no
+// *.tmp droppings for a resume pass to trip over. Temp files are named
+// ".atomicio-*" — a crash between create and rename can strand one, and
+// RemoveStale is the sweep callers run on recovery paths.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// tmpPattern prefixes every temporary file the package creates, so
+// stranded temps are recognisable and sweepable.
+const tmpPattern = ".atomicio-"
+
+// WriteTo atomically replaces path with whatever write produces. The
+// writer receives a buffered writer into the temporary file; flush,
+// fsync, rename and directory sync all happen here.
+func WriteTo(path string, perm os.FileMode, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tmpPattern+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicio: flushing %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: syncing %s: %w", path, err)
+	}
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicio: closing temp for %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicio: renaming into %s: %w", path, err)
+	}
+	// Make the rename durable. Some filesystems cannot fsync a
+	// directory; the data is already safe on disk either way, so this
+	// step is best-effort.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFile atomically replaces path with data.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteTo(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// RemoveStale deletes temporary files a crashed writer stranded in dir
+// (non-recursive). It returns how many were removed. Missing directories
+// are not an error: there is nothing stale in a directory that does not
+// exist.
+func RemoveStale(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("atomicio: sweeping %s: %w", dir, err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), tmpPattern) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("atomicio: removing stale temp %s: %w", e.Name(), err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// IsTempName reports whether a file name belongs to an in-flight (or
+// stranded) atomic write. Tests use it to assert clean shutdowns leave
+// no partial files behind.
+func IsTempName(name string) bool {
+	return strings.HasPrefix(filepath.Base(name), tmpPattern)
+}

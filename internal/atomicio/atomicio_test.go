@@ -1,0 +1,108 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	want := []byte("hello, crash safety")
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFile(path, []byte("old old old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("got %q after replace", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestWriteToErrorLeavesNoTempAndKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFile(path, []byte("survivor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteTo(path, 0o644, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "survivor" {
+		t.Fatalf("old content lost: %q, %v", got, rerr)
+	}
+	assertNoTemps(t, dir)
+}
+
+func TestRemoveStale(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, tmpPattern+"out.bin-123")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "keep.bin")
+	if err := os.WriteFile(keep, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := RemoveStale(dir)
+	if err != nil || n != 1 {
+		t.Fatalf("RemoveStale = %d, %v; want 1, nil", n, err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp still present")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("non-temp file removed: %v", err)
+	}
+	if n, err := RemoveStale(filepath.Join(dir, "missing")); n != 0 || err != nil {
+		t.Fatalf("missing dir: %d, %v", n, err)
+	}
+}
+
+func TestIsTempName(t *testing.T) {
+	if !IsTempName(tmpPattern + "x-1") {
+		t.Fatal("temp name not recognised")
+	}
+	if IsTempName("manifest.json") {
+		t.Fatal("regular name flagged as temp")
+	}
+}
+
+// assertNoTemps fails if dir contains any atomicio temp file.
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if IsTempName(e.Name()) {
+			t.Fatalf("stranded temp file %s", e.Name())
+		}
+	}
+}

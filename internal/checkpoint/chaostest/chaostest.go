@@ -1,0 +1,117 @@
+// Package chaostest is a deterministic kill/resume harness for
+// checkpointed campaigns. It runs a campaign repeatedly against the
+// same checkpoint directory, cancelling each attempt after a
+// seed-derived number of checkpoint writes — simulating a crash at an
+// arbitrary point of progress — and finishes with one uninterrupted
+// attempt that must succeed. The caller then compares the survivors'
+// artifacts against an uninterrupted reference run; with a correct
+// store, they are bit-identical.
+//
+// Determinism matters: the kill points are a pure function of the seed,
+// so a failing kill schedule replays exactly under the same seed.
+package chaostest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/checkpoint"
+)
+
+// Config shapes a kill/resume schedule.
+type Config struct {
+	// Dir is the checkpoint directory shared by every attempt.
+	Dir string
+	// Seed derives the kill points. Same seed, same schedule.
+	Seed uint64
+	// Kills is how many cancelled attempts to run before the final
+	// uninterrupted one.
+	Kills int
+	// MaxPutsPerKill bounds each kill point: attempt i is cancelled
+	// after 1..MaxPutsPerKill checkpoint writes. Keep it below the
+	// campaign's total cell count or late kills degenerate into
+	// complete runs (which the harness tolerates but reports).
+	MaxPutsPerKill int
+	// Warnf, when set, receives store diagnostics (quarantines, sweeps).
+	Warnf func(format string, args ...any)
+}
+
+// Result reports what the schedule actually did.
+type Result struct {
+	// KillPoints holds the put count each attempt was set to die at.
+	KillPoints []int
+	// Killed counts attempts that were genuinely cancelled mid-run;
+	// attempts that finished before reaching their kill point ran to
+	// completion instead.
+	Killed int
+	// FinalStats are the store counters of the last, uninterrupted
+	// attempt — Hits shows how much of the campaign was resumed rather
+	// than recomputed.
+	FinalStats checkpoint.Stats
+}
+
+// Campaign is one attempt: it must honour ctx (returning an error that
+// wraps context.Canceled when cut short) and route every resumable cell
+// through store.
+type Campaign func(ctx context.Context, store *checkpoint.Store) error
+
+// Run executes the kill schedule and the final uninterrupted attempt.
+// It fails if a cancelled attempt returns a non-cancellation error, or
+// if the final attempt does not succeed.
+func Run(cfg Config, campaign Campaign) (*Result, error) {
+	if cfg.Kills < 0 || cfg.MaxPutsPerKill < 1 {
+		return nil, fmt.Errorf("chaostest: invalid config: kills %d, max puts per kill %d", cfg.Kills, cfg.MaxPutsPerKill)
+	}
+	res := &Result{}
+	opts := func(extra ...checkpoint.Option) []checkpoint.Option {
+		if cfg.Warnf != nil {
+			extra = append(extra, checkpoint.WithWarnf(cfg.Warnf))
+		}
+		return extra
+	}
+	for i := 0; i < cfg.Kills; i++ {
+		killAt := 1 + int(mix(cfg.Seed, uint64(i))%uint64(cfg.MaxPutsPerKill))
+		res.KillPoints = append(res.KillPoints, killAt)
+		ctx, cancel := context.WithCancelCause(context.Background())
+		killErr := fmt.Errorf("chaostest: kill %d after %d checkpoint write(s): %w", i, killAt, context.Canceled)
+		store, err := checkpoint.Open(cfg.Dir, opts(checkpoint.WithPutHook(func(puts int) {
+			if puts >= killAt {
+				cancel(killErr)
+			}
+		}))...)
+		if err != nil {
+			cancel(nil)
+			return res, fmt.Errorf("chaostest: opening store for kill %d: %w", i, err)
+		}
+		err = campaign(ctx, store)
+		cancel(nil)
+		switch {
+		case err == nil:
+			// The campaign finished before its kill point — every cell was
+			// already checkpointed. Later kills would be identical no-ops.
+		case errors.Is(err, context.Canceled):
+			res.Killed++
+		default:
+			return res, fmt.Errorf("chaostest: kill %d: campaign failed with a non-cancellation error: %w", i, err)
+		}
+	}
+	store, err := checkpoint.Open(cfg.Dir, opts()...)
+	if err != nil {
+		return res, fmt.Errorf("chaostest: opening store for final attempt: %w", err)
+	}
+	if err := campaign(context.Background(), store); err != nil {
+		return res, fmt.Errorf("chaostest: final uninterrupted attempt failed: %w", err)
+	}
+	res.FinalStats = store.Stats()
+	return res, nil
+}
+
+// mix is splitmix64: a bijective scramble giving independent,
+// reproducible kill points from (seed, attempt index).
+func mix(seed, i uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,91 @@
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/checkpoint"
+)
+
+// toyCampaign computes 8 cells in order, checkpointing each, and
+// returns the concatenation. It checks ctx between cells, like the real
+// Lab stages do.
+func toyCampaign(t *testing.T, computed *int) (Campaign, *[]byte) {
+	out := new([]byte)
+	scope, err := checkpoint.NewScope("chaostest-toy/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(ctx context.Context, store *checkpoint.Store) error {
+		*out = nil
+		for i := 0; i < 8; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("toy campaign cancelled before cell %d: %w", i, context.Cause(ctx))
+			}
+			key := scope.Key("cell", fmt.Sprint(i))
+			cell, ok := store.Get(key)
+			if !ok {
+				*computed++
+				cell = []byte(fmt.Sprintf("cell-%d;", i))
+				if err := store.Put(key, "toy", cell); err != nil {
+					return err
+				}
+			}
+			*out = append(*out, cell...)
+		}
+		return nil
+	}, out
+}
+
+func TestRunKillsThenConverges(t *testing.T) {
+	computed := 0
+	campaign, out := toyCampaign(t, &computed)
+	res, err := Run(Config{Dir: t.TempDir(), Seed: 7, Kills: 3, MaxPutsPerKill: 4}, campaign)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.KillPoints) != 3 {
+		t.Fatalf("kill points = %v", res.KillPoints)
+	}
+	if res.Killed == 0 {
+		t.Fatal("no attempt was actually killed; MaxPutsPerKill too large for the toy campaign?")
+	}
+	if string(*out) != "cell-0;cell-1;cell-2;cell-3;cell-4;cell-5;cell-6;cell-7;" {
+		t.Fatalf("final artifact = %q", *out)
+	}
+	// Every cell is computed exactly once across all attempts: resumes
+	// replay, they do not redo.
+	if computed != 8 {
+		t.Fatalf("computed %d cells, want 8", computed)
+	}
+	if res.FinalStats.Puts != 0 {
+		t.Fatalf("final attempt wrote %d cells, want 0 (all resumed)", res.FinalStats.Puts)
+	}
+}
+
+func TestRunSameSeedSameSchedule(t *testing.T) {
+	var schedules [2][]int
+	for trial := range schedules {
+		computed := 0
+		campaign, _ := toyCampaign(t, &computed)
+		res, err := Run(Config{Dir: t.TempDir(), Seed: 123, Kills: 4, MaxPutsPerKill: 5}, campaign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules[trial] = res.KillPoints
+	}
+	if fmt.Sprint(schedules[0]) != fmt.Sprint(schedules[1]) {
+		t.Fatalf("schedules differ: %v vs %v", schedules[0], schedules[1])
+	}
+}
+
+func TestRunRejectsRealErrors(t *testing.T) {
+	boom := fmt.Errorf("disk on fire")
+	_, err := Run(Config{Dir: t.TempDir(), Seed: 1, Kills: 1, MaxPutsPerKill: 3},
+		func(ctx context.Context, store *checkpoint.Store) error { return boom })
+	if err == nil || !strings.Contains(err.Error(), "non-cancellation") {
+		t.Fatalf("err = %v", err)
+	}
+}

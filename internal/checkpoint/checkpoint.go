@@ -1,0 +1,366 @@
+// Package checkpoint is a crash-safe artifact store for campaign
+// execution. A long campaign (dataset build → GBT train → closed-loop
+// evaluation grids) is decomposed into cells — dataset fragments,
+// trained models, evaluation-grid results — and each completed cell is
+// persisted the moment it exists, so a SIGKILL, OOM or Ctrl-C loses at
+// most the cells still in flight. A resumed campaign replays completed
+// cells from the store and recomputes only what is missing; because
+// every stored codec round-trips float64 values exactly, the resumed
+// campaign's final artifacts are bit-identical to an uninterrupted run.
+//
+// Trust model. A half-written checkpoint is never trusted:
+//
+//   - Cells are content-addressed: the key is a hash of the campaign
+//     scope (platform + configuration fingerprint + format version) and
+//     the cell's coordinates, so a cell can never be replayed into a
+//     campaign it was not computed for.
+//   - Every write goes through the atomic temp + fsync + rename
+//     protocol (internal/atomicio); a torn write leaves a stale temp
+//     file, which Open sweeps, never a misnamed payload.
+//   - The manifest is validated strictly on load (DisallowUnknownFields,
+//     hex-digest checks); a corrupt manifest is an ErrCorrupt error, and
+//     Recover quarantines it so the campaign can fall back to a clean
+//     run without deleting evidence.
+//   - Every Get re-hashes the payload against its manifest entry; a
+//     mismatching or unreadable cell is quarantined and reported as a
+//     miss, never returned.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"github.com/hotgauge/boreas/internal/atomicio"
+)
+
+// Errors callers branch on with errors.Is.
+var (
+	// ErrCorrupt wraps every "these bytes cannot be trusted" condition:
+	// unparseable or unknown-field manifests, bad digests, torn files.
+	ErrCorrupt = errors.New("checkpoint: corrupt")
+	// ErrScopeMismatch is returned by Bind when the store was created by
+	// a campaign with a different configuration fingerprint.
+	ErrScopeMismatch = errors.New("checkpoint: scope mismatch")
+)
+
+// Scope is a campaign configuration fingerprint. All cell keys derive
+// from it, so two campaigns with different configurations can never
+// exchange cells even inside the same store directory.
+type Scope struct {
+	sum [sha256.Size]byte
+}
+
+// NewScope fingerprints a campaign configuration. Each part is
+// canonically JSON-encoded (struct fields in declaration order, map keys
+// sorted) and hashed together with FormatVersion, so the fingerprint is
+// a pure function of the configuration values — never of worker counts,
+// pointers or execution order. Include a version string part (e.g.
+// "experiments/v1") so unrelated subsystems cannot collide.
+func NewScope(parts ...any) (Scope, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "checkpoint/v%d\x00", FormatVersion)
+	for i, part := range parts {
+		data, err := json.Marshal(part)
+		if err != nil {
+			return Scope{}, fmt.Errorf("checkpoint: fingerprinting scope part %d: %w", i, err)
+		}
+		fmt.Fprintf(h, "%d\x00", len(data))
+		h.Write(data)
+	}
+	var s Scope
+	h.Sum(s.sum[:0])
+	return s, nil
+}
+
+// Hex returns the scope fingerprint as 64 hex chars.
+func (s Scope) Hex() string { return hex.EncodeToString(s.sum[:]) }
+
+// Key derives a cell key from the scope and the cell's coordinates
+// (e.g. "fragment", workload name, formatted frequency). Coordinates
+// are length-prefixed before hashing, so ("ab","c") and ("a","bc")
+// yield different keys.
+func (s Scope) Key(coords ...string) string {
+	h := sha256.New()
+	h.Write(s.sum[:])
+	for _, c := range coords {
+		fmt.Fprintf(h, "%d\x00", len(c))
+		h.Write([]byte(c))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FormatFloat renders a float64 cell coordinate exactly (shortest
+// round-trip form), so keys derived from frequencies are stable.
+func FormatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Stats counts what a store did over its lifetime, for "resumed N of M
+// cells" reporting.
+type Stats struct {
+	// Hits is how many Gets returned a stored cell.
+	Hits int
+	// Misses is how many Gets found nothing (including quarantined
+	// cells, which also count toward Quarantined).
+	Misses int
+	// Puts is how many cells were written.
+	Puts int
+	// Quarantined is how many corrupt cells were moved aside.
+	Quarantined int
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithPutHook registers a callback invoked (outside the store lock)
+// after every successful Put with the total number of Puts so far. The
+// chaos harness uses it to cancel a campaign at a seed-derived write
+// count; production callers use it for progress reporting.
+func WithPutHook(hook func(puts int)) Option {
+	return func(s *Store) { s.putHook = hook }
+}
+
+// WithWarnf registers a sink for non-fatal diagnostics (quarantined
+// cells, swept temp files). The default discards them.
+func WithWarnf(warnf func(format string, args ...any)) Option {
+	return func(s *Store) { s.warnf = warnf }
+}
+
+// Store is a checkpoint directory. All methods are safe for concurrent
+// use; Put is atomic and durable when it returns, so a kill at any
+// instant leaves either the previous state or the new one.
+type Store struct {
+	dir     string
+	putHook func(int)
+	warnf   func(string, ...any)
+
+	mu       sync.Mutex
+	manifest *Manifest
+	stats    Stats
+}
+
+// cellsDir/quarantineDir/manifestName are the fixed store layout.
+const (
+	cellsDirName      = "cells"
+	quarantineDirName = "quarantine"
+	manifestName      = "manifest.json"
+)
+
+// Open creates (or reopens) the checkpoint directory. Stale temp files
+// from a killed writer are swept; a corrupt manifest is an ErrCorrupt
+// error — call Recover to quarantine it and start fresh.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{dir: dir, warnf: func(string, ...any) {}}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, cellsDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	for _, d := range []string{dir, filepath.Join(dir, cellsDirName)} {
+		if n, err := atomicio.RemoveStale(d); err != nil {
+			return nil, err
+		} else if n > 0 {
+			s.warnf("checkpoint: swept %d stale temp file(s) from %s", n, d)
+		}
+	}
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		s.manifest = &Manifest{Format: FormatVersion, Cells: map[string]Entry{}}
+	case err != nil:
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+	default:
+		m, err := LoadManifest(data)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+		}
+		s.manifest = m
+	}
+	return s, nil
+}
+
+// Recover quarantines whatever is in dir (manifest and cells move into
+// a quarantine subdirectory, preserved for inspection) and opens a
+// fresh, empty store in its place. It is the fallback path after Open
+// returns ErrCorrupt.
+func Recover(dir string, opts ...Option) (*Store, error) {
+	qdir, err := nextQuarantineDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	moved := false
+	for _, name := range []string{manifestName, cellsDirName} {
+		src := filepath.Join(dir, name)
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		if !moved {
+			if err := os.MkdirAll(qdir, 0o755); err != nil {
+				return nil, fmt.Errorf("checkpoint: creating quarantine dir: %w", err)
+			}
+			moved = true
+		}
+		if err := os.Rename(src, filepath.Join(qdir, name)); err != nil {
+			return nil, fmt.Errorf("checkpoint: quarantining %s: %w", src, err)
+		}
+	}
+	return Open(dir, opts...)
+}
+
+// nextQuarantineDir picks the first unused quarantine/<n> path.
+func nextQuarantineDir(dir string) (string, error) {
+	base := filepath.Join(dir, quarantineDirName)
+	for n := 0; ; n++ {
+		candidate := filepath.Join(base, strconv.Itoa(n))
+		if _, err := os.Stat(candidate); os.IsNotExist(err) {
+			return candidate, nil
+		} else if err != nil {
+			return "", fmt.Errorf("checkpoint: probing quarantine dir: %w", err)
+		}
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of cells currently in the manifest.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.manifest.Cells)
+}
+
+// Bind ties the store to a campaign scope. The first Bind on a fresh
+// store records the scope; a later Bind with a different scope returns
+// ErrScopeMismatch with both campaign descriptions, and the caller
+// falls back to a clean (checkpoint-less) run or a fresh directory —
+// cells from a different campaign are never read or overwritten.
+func (s *Store) Bind(scope Scope, desc string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hexScope := scope.Hex()
+	if s.manifest.Scope == hexScope {
+		return nil
+	}
+	if s.manifest.Scope != "" {
+		return fmt.Errorf("%w: %s holds cells for campaign %q (scope %.12s…), not %q (scope %.12s…); resume with the original configuration or use a fresh -checkpoint directory",
+			ErrScopeMismatch, s.dir, s.manifest.ScopeDesc, s.manifest.Scope, desc, hexScope)
+	}
+	s.manifest.Scope = hexScope
+	s.manifest.ScopeDesc = desc
+	return s.persistLocked()
+}
+
+// cellPath returns the payload path of a key.
+func (s *Store) cellPath(key string) string {
+	return filepath.Join(s.dir, cellsDirName, key)
+}
+
+// Get returns the payload of a cell, or ok == false when the cell is
+// absent. A cell whose payload is missing, unreadable or fails its
+// digest check is quarantined (moved aside and dropped from the
+// manifest) and reported as a miss: the campaign recomputes it.
+func (s *Store) Get(key string) (data []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, exists := s.manifest.Cells[key]
+	if !exists {
+		s.stats.Misses++
+		return nil, false
+	}
+	payload, err := os.ReadFile(s.cellPath(key))
+	if err != nil || int64(len(payload)) != e.Size || hashHex(payload) != e.SHA256 {
+		why := "digest mismatch"
+		if err != nil {
+			why = err.Error()
+		} else if int64(len(payload)) != e.Size {
+			why = fmt.Sprintf("size %d, manifest says %d", len(payload), e.Size)
+		}
+		s.quarantineLocked(key, why)
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	return payload, true
+}
+
+// Discard quarantines a cell whose payload passed the digest check but
+// failed a higher-level decode (e.g. a CSV fragment that no longer
+// parses). The campaign recomputes and rewrites it.
+func (s *Store) Discard(key, why string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.manifest.Cells[key]; exists {
+		s.quarantineLocked(key, why)
+	}
+}
+
+// quarantineLocked moves a cell payload into quarantine/, drops its
+// manifest entry and persists the manifest. Best-effort: a failing move
+// still drops the entry, which is what protects the campaign.
+func (s *Store) quarantineLocked(key, why string) {
+	qdir := filepath.Join(s.dir, quarantineDirName, cellsDirName)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		os.Rename(s.cellPath(key), filepath.Join(qdir, key))
+	}
+	delete(s.manifest.Cells, key)
+	s.stats.Quarantined++
+	s.warnf("checkpoint: quarantined cell %.12s… (%s); it will be recomputed", key, why)
+	if err := s.persistLocked(); err != nil {
+		s.warnf("checkpoint: persisting manifest after quarantine: %v", err)
+	}
+}
+
+// Put stores a cell durably: payload first (atomic write + fsync), then
+// the manifest entry (same protocol). When Put returns, a kill cannot
+// lose the cell; if the process dies between the two writes, the
+// payload is an unlisted file that a future Put simply overwrites.
+func (s *Store) Put(key, kind string, payload []byte) error {
+	s.mu.Lock()
+	if err := atomicio.WriteFile(s.cellPath(key), payload, 0o644); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.manifest.Cells[key] = Entry{Kind: kind, Size: int64(len(payload)), SHA256: hashHex(payload)}
+	err := s.persistLocked()
+	s.stats.Puts++
+	puts := s.stats.Puts
+	hook := s.putHook
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if hook != nil {
+		hook(puts)
+	}
+	return nil
+}
+
+// persistLocked atomically rewrites the manifest. Callers hold s.mu.
+func (s *Store) persistLocked() error {
+	data, err := s.manifest.encode()
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(filepath.Join(s.dir, manifestName), data, 0o644)
+}
+
+// hashHex returns the lowercase hex SHA-256 of data.
+func hashHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,263 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/atomicio"
+)
+
+func testScope(t *testing.T) Scope {
+	t.Helper()
+	s, err := NewScope("checkpoint-test/v1", map[string]int{"steps": 48})
+	if err != nil {
+		t.Fatalf("NewScope: %v", err)
+	}
+	return s
+}
+
+func TestScopeDeterministicAndSensitive(t *testing.T) {
+	a, err := NewScope("v1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewScope("v1", 42)
+	if a != b {
+		t.Fatal("same parts produced different scopes")
+	}
+	c, _ := NewScope("v1", 43)
+	if a == c {
+		t.Fatal("different parts produced the same scope")
+	}
+	if len(a.Hex()) != 64 {
+		t.Fatalf("scope hex length %d", len(a.Hex()))
+	}
+}
+
+func TestKeyLengthPrefixing(t *testing.T) {
+	s := testScope(t)
+	if s.Key("ab", "c") == s.Key("a", "bc") {
+		t.Fatal("coordinate boundaries not separated")
+	}
+	if s.Key("x") != s.Key("x") {
+		t.Fatal("key not deterministic")
+	}
+	if !isHex(s.Key("x"), 64) {
+		t.Fatal("key is not 64 hex chars")
+	}
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	scope := testScope(t)
+	key := scope.Key("cell", "a")
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Bind(scope, "test campaign"); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store returned a cell")
+	}
+	want := []byte("fragment payload")
+	if err := s.Put(key, "dataset-fragment", want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != string(want) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+
+	// A reopened store sees the cell and accepts the same scope.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := s2.Bind(scope, "test campaign resumed"); err != nil {
+		t.Fatalf("Bind after reopen: %v", err)
+	}
+	if got, ok := s2.Get(key); !ok || string(got) != string(want) {
+		t.Fatalf("Get after reopen = %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats after reopen: %+v", st)
+	}
+}
+
+func TestBindScopeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Bind(testScope(t), "original campaign"); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewScope("something-else")
+	err = s.Bind(other, "new campaign")
+	if !errors.Is(err, ErrScopeMismatch) {
+		t.Fatalf("err = %v, want ErrScopeMismatch", err)
+	}
+	for _, want := range []string{"original campaign", "new campaign", "-checkpoint"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mismatch error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestCorruptPayloadQuarantinedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	scope := testScope(t)
+	key := scope.Key("cell")
+	s, _ := Open(dir)
+	if err := s.Put(key, "blob", []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the payload on disk behind the store's back.
+	path := filepath.Join(dir, cellsDirName, key)
+	if err := os.WriteFile(path, []byte("evil bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("corrupt payload returned as a hit")
+	}
+	st := s2.Stats()
+	if st.Quarantined != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The bad payload is preserved in quarantine, and the entry is gone
+	// even across a reopen.
+	if _, err := os.Stat(filepath.Join(dir, quarantineDirName, cellsDirName, key)); err != nil {
+		t.Fatalf("quarantined payload missing: %v", err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Get(key); ok {
+		t.Fatal("quarantined cell resurrected after reopen")
+	}
+	// Recomputing and re-Putting works.
+	if err := s3.Put(key, "blob", []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s3.Get(key); !ok || string(got) != "good bytes" {
+		t.Fatalf("re-put cell = %q, %v", got, ok)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	dir := t.TempDir()
+	scope := testScope(t)
+	key := scope.Key("cell")
+	s, _ := Open(dir)
+	if err := s.Put(key, "blob", []byte("decodes-no-more")); err != nil {
+		t.Fatal(err)
+	}
+	s.Discard(key, "schema drift")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("discarded cell still served")
+	}
+}
+
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	scope := testScope(t)
+	if err := s.Put(scope.Key("cell"), "blob", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-document.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on truncated manifest = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), manifestName) {
+		t.Fatalf("error %q does not name the manifest", err)
+	}
+
+	// Recover quarantines the damage and yields a usable empty store.
+	s2, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("recovered store has %d cells, want 0", s2.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDirName, "0", manifestName)); err != nil {
+		t.Fatalf("quarantined manifest missing: %v", err)
+	}
+	if err := s2.Put(scope.Key("cell"), "blob", []byte("y")); err != nil {
+		t.Fatalf("Put after Recover: %v", err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("reopen after Recover: %v", err)
+	}
+}
+
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer killed mid-Put in both swept directories.
+	for _, d := range []string{dir, filepath.Join(dir, cellsDirName)} {
+		if err := os.WriteFile(filepath.Join(d, ".atomicio-torn-1"), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var warned bool
+	if _, err := Open(dir, WithWarnf(func(string, ...any) { warned = true })); err != nil {
+		t.Fatal(err)
+	}
+	if !warned {
+		t.Fatal("sweep did not warn")
+	}
+	for _, d := range []string{dir, filepath.Join(dir, cellsDirName)} {
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if atomicio.IsTempName(e.Name()) {
+				t.Fatalf("stale temp %s survived Open", e.Name())
+			}
+		}
+	}
+}
+
+func TestPutHook(t *testing.T) {
+	dir := t.TempDir()
+	var calls []int
+	s, err := Open(dir, WithPutHook(func(n int) { calls = append(calls, n) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := testScope(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(scope.Key("cell", string(rune('a'+i))), "blob", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(calls) != 3 || calls[0] != 1 || calls[2] != 3 {
+		t.Fatalf("put hook calls = %v", calls)
+	}
+}

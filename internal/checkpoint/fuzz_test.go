@@ -1,0 +1,112 @@
+package checkpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validManifestBytes builds a well-formed manifest document for seeding.
+func validManifestBytes(t testing.TB) []byte {
+	t.Helper()
+	scope, err := NewScope("fuzz/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{
+		Format:    FormatVersion,
+		Scope:     scope.Hex(),
+		ScopeDesc: "fuzz seed",
+		Cells: map[string]Entry{
+			scope.Key("cell", "a"): {Kind: "blob", Size: 3, SHA256: hashHex([]byte("abc"))},
+		},
+	}
+	data, err := m.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestLoadManifestCorruptionsAreDescriptive(t *testing.T) {
+	valid := validManifestBytes(t)
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "parsing manifest"},
+		{"truncated", valid[:len(valid)/2], "parsing manifest"},
+		{"not json", []byte("<manifest/>"), "parsing manifest"},
+		{"unknown field", []byte(`{"format":1,"cells":{},"bonus":true}`), "parsing manifest"},
+		{"trailing doc", append(append([]byte{}, valid...), []byte(`{"format":1}`)...), "trailing data"},
+		{"wrong format", []byte(`{"format":99,"cells":{}}`), "format 99"},
+		{"bad scope", []byte(`{"format":1,"scope":"zz","cells":{}}`), "hex"},
+		{"bad key", []byte(`{"format":1,"cells":{"nope":{"kind":"b","size":1,"sha256":"` + hashHex(nil) + `"}}}`), "hex"},
+		{"negative size", []byte(`{"format":1,"cells":{"` + hashHex(nil) + `":{"kind":"b","size":-1,"sha256":"` + hashHex(nil) + `"}}}`), "negative size"},
+		{"empty kind", []byte(`{"format":1,"cells":{"` + hashHex(nil) + `":{"kind":"","size":1,"sha256":"` + hashHex(nil) + `"}}}`), "empty kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadManifest(tc.data)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+	// Sanity: the valid document still loads.
+	m, err := LoadManifest(valid)
+	if err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	if len(m.Cells) != 1 {
+		t.Fatalf("valid manifest has %d cells", len(m.Cells))
+	}
+}
+
+// FuzzLoadManifest hammers the loader with mutated documents: whatever
+// the input, it must return a manifest or an ErrCorrupt-wrapped error —
+// never panic, and never accept a document that re-encodes differently
+// than what validation saw.
+func FuzzLoadManifest(f *testing.F) {
+	valid := validManifestBytes(f)
+	f.Add(valid)
+	f.Add([]byte(`{"format":1,"cells":{}}`))
+	f.Add([]byte(`{"format":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"format":1,"cells":{},"extra":1}`))
+	f.Add(valid[:len(valid)-4])
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt error: %v", err)
+			}
+			return
+		}
+		// An accepted manifest must satisfy its own invariants and
+		// survive an encode/load round trip.
+		if m.Format != FormatVersion {
+			t.Fatalf("accepted manifest with format %d", m.Format)
+		}
+		for k, e := range m.Cells {
+			if !isHex(k, 64) || !isHex(e.SHA256, 64) || e.Size < 0 || e.Kind == "" {
+				t.Fatalf("accepted invalid cell %q: %+v", k, e)
+			}
+		}
+		out, err := m.encode()
+		if err != nil {
+			t.Fatalf("re-encoding accepted manifest: %v", err)
+		}
+		if _, err := LoadManifest(out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/checkpoint"
+)
+
+func TestOpenStoreDisabled(t *testing.T) {
+	o := &Options{}
+	store, err := o.OpenStore("test")
+	if store != nil || err != nil {
+		t.Fatalf("expected (nil, nil) without -checkpoint, got (%v, %v)", store, err)
+	}
+	o.Resume = true
+	if _, err := o.OpenStore("test"); err == nil {
+		t.Fatal("-resume without -checkpoint must be an error")
+	}
+}
+
+func TestOpenStoreCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope, err := checkpoint.NewScope("cliutil/test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(scope.Key("cell"), "test", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without -resume: quarantine and continue with a fresh store.
+	o := &Options{Dir: dir}
+	recovered, err := o.OpenStore("test")
+	if err != nil {
+		t.Fatalf("corruption without -resume must fall back, got %v", err)
+	}
+	if recovered.Len() != 0 {
+		t.Fatalf("recovered store should start empty, has %d cells", recovered.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "0", "manifest.json")); err != nil {
+		t.Fatalf("corrupt manifest not preserved in quarantine: %v", err)
+	}
+
+	// With -resume: the same corruption is fatal and descriptive.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o.Resume = true
+	if _, err := o.OpenStore("test"); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("corruption under -resume must be ErrCorrupt, got %v", err)
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	if !Interrupted(context.Canceled) || !Interrupted(context.DeadlineExceeded) {
+		t.Fatal("plain cancellation errors must count as interrupted")
+	}
+	if !Interrupted(fmt.Errorf("fig7: %w", context.Canceled)) {
+		t.Fatal("wrapped cancellation must count as interrupted")
+	}
+	if Interrupted(errors.New("disk on fire")) {
+		t.Fatal("real errors must not count as interrupted")
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	o := &Options{Deadline: 1} // one nanosecond: expires immediately
+	ctx, stop := o.Context()
+	defer stop()
+	<-ctx.Done()
+	if !Interrupted(ctx.Err()) {
+		t.Fatalf("deadline expiry should read as interrupted, got %v", ctx.Err())
+	}
+}

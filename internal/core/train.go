@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hotgauge/boreas/internal/ml/gbt"
@@ -39,6 +40,13 @@ func DefaultTrainConfig() TrainConfig {
 // Train fits the Boreas severity predictor on a labelled telemetry
 // dataset (full 78-feature schema or any superset of cfg.Features).
 func Train(ds *telemetry.Dataset, cfg TrainConfig) (*Predictor, error) {
+	return TrainContext(context.Background(), ds, cfg)
+}
+
+// TrainContext is Train with cancellation: the context is checked each
+// boosting round, so SIGINT or a deadline stops a long train within one
+// round instead of running to completion.
+func TrainContext(ctx context.Context, ds *telemetry.Dataset, cfg TrainConfig) (*Predictor, error) {
 	if cfg.Features == nil {
 		cfg.Features = telemetry.TableIVFeatureNames()
 	}
@@ -51,7 +59,7 @@ func Train(ds *telemetry.Dataset, cfg TrainConfig) (*Predictor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: selecting features: %w", err)
 	}
-	model, err := gbt.Train(sel.X, sel.Y, sel.FeatureNames, cfg.Params)
+	model, err := gbt.TrainContext(ctx, sel.X, sel.Y, sel.FeatureNames, cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("core: training: %w", err)
 	}

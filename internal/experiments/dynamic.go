@@ -29,10 +29,14 @@ func (l *Lab) runNamed(name string, ctrl control.Controller) (*control.LoopResul
 
 // runGrid evaluates every (workload, controller) cell of a closed-loop
 // comparison across the lab's worker pool and returns the results in
-// row-major (workload, controller) order.
+// row-major (workload, controller) order. With a checkpoint store each
+// cell persists as it completes and replays on resume.
 func (l *Lab) runGrid(names []string, ctrls []control.Controller) ([]*control.LoopResult, error) {
 	return runner.Map(l.ctx, l.cfg.Workers, len(names)*len(ctrls), func(_ context.Context, i int) (*control.LoopResult, error) {
-		return l.runNamed(names[i/len(ctrls)], ctrls[i%len(ctrls)])
+		name, ctrl := names[i/len(ctrls)], ctrls[i%len(ctrls)]
+		return l.loopCell(name, ctrl.Name(), func() (*control.LoopResult, error) {
+			return l.runNamed(name, ctrl)
+		})
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
@@ -48,6 +49,12 @@ type Config struct {
 	// evaluations and GBT training. 0 or negative means one worker per
 	// CPU. Results are bit-identical at any worker count.
 	Workers int
+	// Checkpoint, when non-nil, persists every expensive artefact (dataset
+	// fragments, trained models, calibrations, per-cell loop results) so
+	// an interrupted campaign resumes where it left off. Like Workers it
+	// is excluded from the campaign fingerprint (see Scope): checkpointing
+	// never affects artefact content.
+	Checkpoint *checkpoint.Store `json:"-"`
 }
 
 // DefaultConfig reproduces the paper-scale campaign (minutes of CPU) on the
@@ -140,6 +147,12 @@ type Lab struct {
 	cfg Config
 	ctx context.Context
 
+	// store/scope are the campaign checkpoint (nil store: checkpointing
+	// off). The scope keys every cell to the content-defining parts of
+	// cfg, so cells never replay into a differently-configured campaign.
+	store *checkpoint.Store
+	scope checkpoint.Scope
+
 	pipeline  *sim.Pipeline
 	oracle    memo[*control.OracleTable]
 	critTemps memo[*control.CriticalTemps]
@@ -171,7 +184,18 @@ func NewLabContext(ctx context.Context, cfg Config) (*Lab, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Lab{cfg: cfg, ctx: ctx, pipeline: p}, nil
+	l := &Lab{cfg: cfg, ctx: ctx, pipeline: p}
+	if cfg.Checkpoint != nil {
+		scope, err := cfg.Scope()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fingerprinting campaign: %w", err)
+		}
+		if err := cfg.Checkpoint.Bind(scope, cfg.ScopeDesc()); err != nil {
+			return nil, err
+		}
+		l.store, l.scope = cfg.Checkpoint, scope
+	}
+	return l, nil
 }
 
 // Config returns the lab configuration.
@@ -184,28 +208,52 @@ func (l *Lab) Pipeline() *sim.Pipeline { return l.pipeline }
 // Oracle lazily builds the static-sweep oracle over all 27 workloads.
 func (l *Lab) Oracle() (*control.OracleTable, error) {
 	return l.oracle.get(func() (*control.OracleTable, error) {
-		all := append(append([]string{}, l.cfg.TrainNames...), l.cfg.TestNames...)
-		return control.BuildOracleContext(l.ctx, l.pipeline, all, l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.Workers)
+		return labCell(l, "oracle-table", []string{"oracle"}, encodeOracle, decodeOracle,
+			func() (*control.OracleTable, error) {
+				all := append(append([]string{}, l.cfg.TrainNames...), l.cfg.TestNames...)
+				return control.BuildOracleContext(l.ctx, l.pipeline, all, l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.Workers)
+			})
 	})
 }
 
 // CriticalTemps lazily builds the training-set threshold table.
 func (l *Lab) CriticalTemps() (*control.CriticalTemps, error) {
 	return l.critTemps.get(func() (*control.CriticalTemps, error) {
-		return control.BuildCriticalTempsContext(l.ctx, l.pipeline, l.cfg.TrainNames,
-			l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.SensorIndex, l.cfg.Workers)
+		return labCell(l, "critical-temps", []string{"crittemps"}, encodeCritTemps, decodeCritTemps,
+			func() (*control.CriticalTemps, error) {
+				return control.BuildCriticalTempsContext(l.ctx, l.pipeline, l.cfg.TrainNames,
+					l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.SensorIndex, l.cfg.Workers)
+			})
 	})
 }
 
 // TH00 lazily calibrates the safe thermal controller on the training set.
+// Only the calibration outcome (margin, headroom) is checkpointed; the
+// threshold table and VF curve are reattached from the lab's own
+// artefacts, so the replayed controller is identical to a fresh one.
 func (l *Lab) TH00() (*control.ThermalController, error) {
 	return l.th00.get(func() (*control.ThermalController, error) {
 		ct, err := l.CriticalTemps()
 		if err != nil {
 			return nil, err
 		}
-		lc := l.loopConfig()
-		return control.CalibrateThermalMarginContext(l.ctx, l.pipeline, ct, l.cfg.TrainNames, lc, 30, l.cfg.Workers)
+		cell, err := labCell(l, "th00-calibration", []string{"th00"}, jsonEnc[th00Cell], jsonDec[th00Cell],
+			func() (th00Cell, error) {
+				lc := l.loopConfig()
+				ctrl, err := control.CalibrateThermalMarginContext(l.ctx, l.pipeline, ct, l.cfg.TrainNames, lc, 30, l.cfg.Workers)
+				if err != nil {
+					return th00Cell{}, err
+				}
+				return th00Cell{Margin: ctrl.Margin, Headroom: ctrl.Headroom}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		ctrl := control.NewThermalController(ct, 0)
+		ctrl.Margin = cell.Margin
+		ctrl.Headroom = cell.Headroom
+		ctrl.VF = l.pipeline.VF()
+		return ctrl, nil
 	})
 }
 
@@ -242,6 +290,7 @@ func (l *Lab) TrainingData() (*telemetry.Dataset, error) {
 		bc.Horizon = l.cfg.Horizon
 		bc.SensorIndex = l.cfg.SensorIndex
 		bc.Workers = l.cfg.Workers
+		bc.Checkpoint = l.store
 		ds, err := telemetry.BuildContext(l.ctx, bc)
 		if err != nil {
 			return nil, err
@@ -252,6 +301,7 @@ func (l *Lab) TrainingData() (*telemetry.Dataset, error) {
 		wc.WalksPerWorkload = l.cfg.WalksPerWorkload
 		wc.SensorIndex = l.cfg.SensorIndex
 		wc.Workers = l.cfg.Workers
+		wc.Checkpoint = l.store
 		dsw, err := telemetry.BuildWalkContext(l.ctx, wc)
 		if err != nil {
 			return nil, err
@@ -272,20 +322,35 @@ func (l *Lab) TestData() (*telemetry.Dataset, error) {
 		bc.Horizon = l.cfg.Horizon
 		bc.SensorIndex = l.cfg.SensorIndex
 		bc.Workers = l.cfg.Workers
+		bc.Checkpoint = l.store
 		return telemetry.BuildContext(l.ctx, bc)
 	})
 }
 
-// Predictor lazily trains the Boreas model (Table II configuration).
+// Predictor lazily trains the Boreas model (Table II configuration). The
+// checkpointed cell is the trained ensemble in its bit-exact binary
+// format; the predictor wrapper is rebuilt from it on both the cold and
+// the replay path, so the two are indistinguishable.
 func (l *Lab) Predictor() (*core.Predictor, error) {
 	return l.predictor.get(func() (*core.Predictor, error) {
-		ds, err := l.TrainingData()
+		m, err := labCell(l, "predictor-model", []string{"predictor"}, encodeModel, decodeModel,
+			func() (*gbt.Model, error) {
+				ds, err := l.TrainingData()
+				if err != nil {
+					return nil, err
+				}
+				tc := core.DefaultTrainConfig()
+				tc.Params.Workers = l.cfg.Workers
+				pred, err := core.TrainContext(l.ctx, ds, tc)
+				if err != nil {
+					return nil, err
+				}
+				return pred.Model(), nil
+			})
 		if err != nil {
 			return nil, err
 		}
-		tc := core.DefaultTrainConfig()
-		tc.Params.Workers = l.cfg.Workers
-		pred, err := core.Train(ds, tc)
+		pred, err := core.NewPredictor(m)
 		if err != nil {
 			return nil, err
 		}
@@ -298,13 +363,16 @@ func (l *Lab) Predictor() (*core.Predictor, error) {
 // the Table IV feature-selection study).
 func (l *Lab) FullModel() (*gbt.Model, error) {
 	return l.fullModel.get(func() (*gbt.Model, error) {
-		ds, err := l.TrainingData()
-		if err != nil {
-			return nil, err
-		}
-		params := gbt.DefaultParams()
-		params.Workers = l.cfg.Workers
-		return gbt.Train(ds.X, ds.Y, ds.FeatureNames, params)
+		return labCell(l, "full-model", []string{"fullmodel"}, encodeModel, decodeModel,
+			func() (*gbt.Model, error) {
+				ds, err := l.TrainingData()
+				if err != nil {
+					return nil, err
+				}
+				params := gbt.DefaultParams()
+				params.Workers = l.cfg.Workers
+				return gbt.TrainContext(l.ctx, ds.X, ds.Y, ds.FeatureNames, params)
+			})
 	})
 }
 

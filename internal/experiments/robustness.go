@@ -150,6 +150,17 @@ func FaultGrid(l *Lab, fc FaultGridConfig) (*FaultGridResult, error) {
 	scenarios := append([]faults.Scenario{{Class: faults.None, Sensor: -1}},
 		faults.Grid(fc.Seed, fc.Classes, fc.Intensities, fc.FaultStart)...)
 
+	// The fault grid has its own configuration knobs beyond the lab's, so
+	// its checkpoint cells carry a grid fingerprint in their coordinates:
+	// a reconfigured grid never replays another grid's runs.
+	var fcTag string
+	if l.store != nil {
+		var err error
+		if fcTag, err = faultGridTag(fc); err != nil {
+			return nil, fmt.Errorf("experiments: fingerprinting fault grid: %w", err)
+		}
+	}
+
 	nw, nc := len(fc.Workloads), len(fc.Controllers)
 	total := len(scenarios) * nc * nw
 	runs, err := runner.Map(l.ctx, fc.Workers, total, func(_ context.Context, i int) (faultRun, error) {
@@ -157,38 +168,45 @@ func FaultGrid(l *Lab, fc FaultGridConfig) (*FaultGridResult, error) {
 		factory := fc.Controllers[(i/nw)%nc]
 		name := fc.Workloads[i%nw]
 
-		ctrl, err := factory.New()
+		cell, err := labCell(l, "fault-run", []string{"faultloop", fcTag, sc.Name(), factory.Name, name},
+			jsonEnc[faultRunCell], jsonDec[faultRunCell], func() (faultRunCell, error) {
+				ctrl, err := factory.New()
+				if err != nil {
+					return faultRunCell{}, err
+				}
+				w, err := l.pipeline.Workloads().ByName(name)
+				if err != nil {
+					return faultRunCell{}, err
+				}
+				p, err := l.pipeline.Clone()
+				if err != nil {
+					return faultRunCell{}, err
+				}
+				lc := l.loopConfig()
+				stap, ktap, err := faults.Taps(sc)
+				if err != nil {
+					return faultRunCell{}, err
+				}
+				if stap != nil {
+					lc.SensorTap = stap
+				}
+				if ktap != nil {
+					lc.CounterTap = ktap
+				}
+				res, err := control.RunLoop(p, w, ctrl, lc)
+				if err != nil {
+					return faultRunCell{}, err
+				}
+				fr := faultRunCell{Res: res}
+				if g, ok := ctrl.(*control.GuardedController); ok {
+					fr.Faulty, fr.Degraded = g.FaultyDecisions, g.DegradedDecisions
+				}
+				return fr, nil
+			})
 		if err != nil {
 			return faultRun{}, err
 		}
-		w, err := l.pipeline.Workloads().ByName(name)
-		if err != nil {
-			return faultRun{}, err
-		}
-		p, err := l.pipeline.Clone()
-		if err != nil {
-			return faultRun{}, err
-		}
-		lc := l.loopConfig()
-		stap, ktap, err := faults.Taps(sc)
-		if err != nil {
-			return faultRun{}, err
-		}
-		if stap != nil {
-			lc.SensorTap = stap
-		}
-		if ktap != nil {
-			lc.CounterTap = ktap
-		}
-		res, err := control.RunLoop(p, w, ctrl, lc)
-		if err != nil {
-			return faultRun{}, err
-		}
-		fr := faultRun{res: res}
-		if g, ok := ctrl.(*control.GuardedController); ok {
-			fr.faulty, fr.degraded = g.FaultyDecisions, g.DegradedDecisions
-		}
-		return fr, nil
+		return faultRun{res: cell.Res, faulty: cell.Faulty, degraded: cell.Degraded}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -259,8 +259,10 @@ func (m *Model) MSE(x [][]float64, y []float64) float64 {
 // treeBuilder grows one regression tree from the current gradient and
 // hessian vectors. Both split-search methods implement it over the same
 // shared grad/hess slices, so the boosting loop in Train is method-blind.
+// The context bounds the builder's internal fan-out; a tree built under
+// a cancelled context may be degenerate and is discarded by the caller.
 type treeBuilder interface {
-	buildTree() Tree
+	buildTree(ctx context.Context) Tree
 }
 
 // trainer holds the level-wise exact-greedy split machinery.
@@ -277,13 +279,15 @@ type trainer struct {
 // newExactTrainer presorts every feature column and returns the exact
 // greedy split searcher. The per-feature presort is independent per
 // feature; it fans across the pool. Each slot is written only by its own
-// task, so the result is identical at any worker count.
-func newExactTrainer(x [][]float64, grad, hess []float64, p Params) *trainer {
+// task, so the result is identical at any worker count. A cancelled
+// context leaves some columns unsorted; the boosting loop re-checks the
+// context before the builder is ever used.
+func newExactTrainer(ctx context.Context, x [][]float64, grad, hess []float64, p Params) *trainer {
 	n, d := len(x), len(x[0])
 	tr := &trainer{p: p, x: x, grad: grad, hess: hess, nFeature: d}
 	tr.nodeOf = make([]int32, n)
 	tr.sorted = make([][]int32, d)
-	_ = runner.ForEach(context.Background(), p.Workers, d, func(_ context.Context, f int) error {
+	_ = runner.ForEach(ctx, p.Workers, d, func(_ context.Context, f int) error {
 		idx := make([]int32, n)
 		for i := range idx {
 			idx[i] = int32(i)
@@ -295,10 +299,47 @@ func newExactTrainer(x [][]float64, grad, hess []float64, p Params) *trainer {
 	return tr
 }
 
+// TrainHooks let a caller make a long training run resumable. They are
+// optional; the zero value trains from scratch with no snapshots.
+type TrainHooks struct {
+	// Resume, when non-nil, is a partial model from an interrupted run of
+	// the SAME data and hyper-parameters. Boosting restarts at round
+	// len(Resume.Trees); the resumed run's final model is bit-identical
+	// to an uninterrupted one, because predictions are replayed by the
+	// same per-tree additions in the same order.
+	Resume *Model
+	// Snapshot, when non-nil, receives a self-contained copy of the
+	// partial model every SnapshotEvery completed rounds. Returning an
+	// error aborts training (it usually means the checkpoint store is
+	// unwritable). Snapshots only ever contain fully-built trees: a round
+	// cut short by cancellation is discarded before the hook can fire.
+	Snapshot func(m *Model) error
+	// SnapshotEvery is the snapshot cadence in boosting rounds; <= 0
+	// means every 32 rounds.
+	SnapshotEvery int
+}
+
+// defaultSnapshotEvery balances resume granularity against checkpoint
+// write amplification for typical n_estimators (~223, Table II).
+const defaultSnapshotEvery = 32
+
 // Train fits a boosted ensemble to x (n rows, d features) and y.
 // featureNames must have d entries and are retained for importance
 // reporting and serialisation.
 func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model, error) {
+	return TrainContext(context.Background(), x, y, featureNames, p)
+}
+
+// TrainContext is Train with cancellation: the context is checked every
+// boosting round (both split-search methods), so a SIGINT or deadline
+// stops a long train within one round instead of running to completion.
+// The returned error wraps the context's cancellation cause.
+func TrainContext(ctx context.Context, x [][]float64, y []float64, featureNames []string, p Params) (*Model, error) {
+	return TrainContextHooks(ctx, x, y, featureNames, p, TrainHooks{})
+}
+
+// TrainContextHooks is TrainContext plus resume/snapshot hooks.
+func TrainContextHooks(ctx context.Context, x [][]float64, y []float64, featureNames []string, p Params, hooks TrainHooks) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -333,9 +374,9 @@ func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model,
 	var builder treeBuilder
 	switch p.method() {
 	case MethodHist:
-		builder = newHistTrainer(x, grad, hess, p)
+		builder = newHistTrainer(ctx, x, grad, hess, p)
 	default:
-		builder = newExactTrainer(x, grad, hess, p)
+		builder = newExactTrainer(ctx, x, grad, hess, p)
 	}
 
 	pred := make([]float64, n)
@@ -344,11 +385,36 @@ func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model,
 	}
 
 	m := &Model{Params: p, FeatureNames: append([]string(nil), featureNames...), Base: base}
+	start := 0
+	if r := hooks.Resume; r != nil {
+		if err := resumeCompatible(r, featureNames, base, p); err != nil {
+			return nil, err
+		}
+		m.Trees = append(m.Trees, r.Trees...)
+		start = len(r.Trees)
+		// Replay the resumed trees' predictions with the same per-tree
+		// additions an uninterrupted run would have made, in the same
+		// order — float addition is order-sensitive, and bit-identical
+		// resume depends on repeating it exactly.
+		for _, tree := range m.Trees {
+			for i := range pred {
+				pred[i] += tree.Predict(x[i])
+			}
+		}
+	}
+	snapshotEvery := hooks.SnapshotEvery
+	if snapshotEvery <= 0 {
+		snapshotEvery = defaultSnapshotEvery
+	}
+
 	safety := p.SafetyWeight
 	if safety <= 0 {
 		safety = 1
 	}
-	for t := 0; t < p.NumTrees; t++ {
+	for t := start; t < p.NumTrees; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gbt: training cancelled at round %d/%d: %w", t, p.NumTrees, context.Cause(ctx))
+		}
 		for i := range grad {
 			g := pred[i] - y[i]
 			h := 1.0
@@ -360,13 +426,54 @@ func Train(x [][]float64, y []float64, featureNames []string, p Params) (*Model,
 			grad[i] = g
 			hess[i] = h
 		}
-		tree := builder.buildTree()
+		tree := builder.buildTree(ctx)
+		// A cancellation that lands mid-build yields a degenerate tree
+		// (feature scans cut short). Discard it rather than appending or
+		// snapshotting it: resumed models must only ever contain trees
+		// built to completion.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gbt: training cancelled during round %d/%d: %w", t, p.NumTrees, context.Cause(ctx))
+		}
 		m.Trees = append(m.Trees, tree)
 		for i := range pred {
 			pred[i] += tree.Predict(x[i])
 		}
+		if hooks.Snapshot != nil && (t+1)%snapshotEvery == 0 && t+1 < p.NumTrees {
+			if err := hooks.Snapshot(m.snapshot()); err != nil {
+				return nil, fmt.Errorf("gbt: snapshot after round %d/%d: %w", t+1, p.NumTrees, err)
+			}
+		}
 	}
 	return m, nil
+}
+
+// snapshot returns a copy of the model safe to retain and serialise
+// while training keeps appending trees to the original.
+func (m *Model) snapshot() *Model {
+	snap := *m
+	snap.Trees = append([]Tree(nil), m.Trees...)
+	return &snap
+}
+
+// resumeCompatible rejects a resume model that was not trained on the
+// same problem: silently mixing models is exactly the corruption a
+// checkpointed run must rule out.
+func resumeCompatible(r *Model, featureNames []string, base float64, p Params) error {
+	if len(r.FeatureNames) != len(featureNames) {
+		return fmt.Errorf("gbt: resume model has %d features, training data has %d", len(r.FeatureNames), len(featureNames))
+	}
+	for i, name := range r.FeatureNames {
+		if name != featureNames[i] {
+			return fmt.Errorf("gbt: resume model feature %d is %q, training data has %q", i, name, featureNames[i])
+		}
+	}
+	if r.Base != base {
+		return fmt.Errorf("gbt: resume model base %v does not match training-set mean %v (different data?)", r.Base, base)
+	}
+	if len(r.Trees) > p.NumTrees {
+		return fmt.Errorf("gbt: resume model already has %d trees, target is %d", len(r.Trees), p.NumTrees)
+	}
+	return nil
 }
 
 // split candidate chosen for a node during a level scan.
@@ -377,7 +484,7 @@ type splitChoice struct {
 }
 
 // buildTree grows one tree level-wise with exact greedy splits.
-func (tr *trainer) buildTree() Tree {
+func (tr *trainer) buildTree(ctx context.Context) Tree {
 	p := tr.p
 	n := len(tr.x)
 
@@ -414,7 +521,7 @@ func (tr *trainer) buildTree() Tree {
 		// feature index exactly as the sequential scan did, and the chosen
 		// splits are bit-identical at any worker count.
 		featBest := make([][]splitChoice, tr.nFeature)
-		_ = runner.ForEach(context.Background(), p.Workers, tr.nFeature, func(_ context.Context, f int) error {
+		_ = runner.ForEach(ctx, p.Workers, tr.nFeature, func(_ context.Context, f int) error {
 			featBest[f] = tr.scanFeature(f, pos, gTot, hTot)
 			return nil
 		})

@@ -66,15 +66,16 @@ type histTrainer struct {
 }
 
 // newHistTrainer bins every feature and returns the histogram-binned
-// split searcher.
-func newHistTrainer(x [][]float64, grad, hess []float64, p Params) *histTrainer {
+// split searcher. A cancelled context leaves some features unbinned; the
+// boosting loop re-checks the context before the builder is ever used.
+func newHistTrainer(ctx context.Context, x [][]float64, grad, hess []float64, p Params) *histTrainer {
 	n, d := len(x), len(x[0])
 	ht := &histTrainer{p: p, x: x, grad: grad, hess: hess, nFeature: d}
 	ht.nodePosOf = make([]int32, n)
 	ht.binOf = make([][]uint8, d)
 	ht.edges = make([][]float64, d)
 	maxBins := p.maxBins()
-	_ = runner.ForEach(context.Background(), p.Workers, d, func(_ context.Context, f int) error {
+	_ = runner.ForEach(ctx, p.Workers, d, func(_ context.Context, f int) error {
 		ht.edges[f], ht.binOf[f] = binFeature(x, f, maxBins)
 		return nil
 	})
@@ -152,7 +153,7 @@ type levelNode struct {
 }
 
 // buildTree grows one tree level-wise with histogram-binned splits.
-func (ht *histTrainer) buildTree() Tree {
+func (ht *histTrainer) buildTree(ctx context.Context) Tree {
 	p := ht.p
 	n := len(ht.x)
 	for i := range ht.nodePosOf {
@@ -191,7 +192,7 @@ func (ht *histTrainer) buildTree() Tree {
 		curG := make([][]float64, ht.nFeature)
 		curH := make([][]float64, ht.nFeature)
 		featBest := make([][]splitChoice, ht.nFeature)
-		_ = runner.ForEach(context.Background(), p.Workers, ht.nFeature, func(_ context.Context, f int) error {
+		_ = runner.ForEach(ctx, p.Workers, ht.nFeature, func(_ context.Context, f int) error {
 			curG[f], curH[f] = ht.buildHistogram(f, level, prevG, prevH)
 			featBest[f] = ht.scanHistogram(f, curG[f], curH[f], gTot, hTot)
 			return nil
@@ -299,6 +300,12 @@ func (ht *histTrainer) buildHistogram(f int, level []levelNode, prevG, prevH [][
 	}
 	for j := range level {
 		if level[j].direct || level[j].parent < 0 {
+			continue
+		}
+		// A cancelled context can cut the previous level's fan-out short,
+		// leaving this feature's parent histograms unbuilt. The tree is
+		// about to be discarded by the boosting loop; just don't fault.
+		if prevG[f] == nil || prevH[f] == nil {
 			continue
 		}
 		po := int(level[j].parent) * nb

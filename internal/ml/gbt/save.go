@@ -1,0 +1,43 @@
+package gbt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hotgauge/boreas/internal/atomicio"
+)
+
+// SaveFile writes the model to path via the atomic temp + fsync + rename
+// protocol: a crash mid-save leaves the previous file (or nothing), never
+// a truncated model that LoadModel would reject — or worse, a torn one.
+func (m *Model) SaveFile(path string) error {
+	return atomicio.WriteTo(path, 0o644, func(w io.Writer) error {
+		_, err := m.WriteTo(w)
+		return err
+	})
+}
+
+// Bytes serialises the model to memory, for callers that store models as
+// checkpoint cells rather than standalone files.
+func (m *Model) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadModelFile reads and validates a model file.
+func LoadModelFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gbt: reading model %s: %w", path, err)
+	}
+	m, err := LoadModel(data)
+	if err != nil {
+		return nil, fmt.Errorf("gbt: model %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"github.com/hotgauge/boreas/internal/atomicio"
 )
 
 // Save writes the platform as an indented JSON scenario file. The document
@@ -23,20 +25,11 @@ func (p *Platform) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes the platform to a scenario file at path.
+// SaveFile writes the platform to a scenario file at path via the atomic
+// temp + fsync + rename protocol: an interrupted save leaves the previous
+// scenario file (or nothing), never a truncated document.
 func (p *Platform) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("platform: creating %s: %w", path, err)
-	}
-	if err := p.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("platform: closing %s: %w", path, err)
-	}
-	return nil
+	return atomicio.WriteTo(path, 0o644, p.Save)
 }
 
 // Load parses and fully validates a scenario file written by Save (or

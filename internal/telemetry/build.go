@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/trace"
@@ -39,6 +40,12 @@ type BuildConfig struct {
 	// count: rows are merged in canonical (workload, frequency) order and
 	// per-run seeds depend only on the run's coordinates.
 	Workers int
+	// Checkpoint, when non-nil, persists each (workload, frequency)
+	// fragment as a resumable cell keyed by the campaign configuration
+	// (see BuildScope); an interrupted build recomputes only missing
+	// fragments on the next run. Like Workers it never affects dataset
+	// content.
+	Checkpoint *checkpoint.Store `json:"-"`
 }
 
 // DefaultBuildConfig returns the standard extraction campaign over the
@@ -104,26 +111,36 @@ func BuildContext(ctx context.Context, cfg BuildConfig) (*Dataset, error) {
 			tasks = append(tasks, task{name, f})
 		}
 	}
+	var scope checkpoint.Scope
+	if cfg.Checkpoint != nil {
+		var err error
+		if scope, err = cfg.BuildScope(); err != nil {
+			return nil, err
+		}
+	}
 	frags, err := runner.Map(ctx, cfg.Workers, len(tasks), func(ctx context.Context, i int) (*Dataset, error) {
 		t := tasks[i]
-		scfg := cfg.Sim
-		scfg.Seed = cfg.RunSeed(t.workload, t.freq)
-		p, err := sim.New(scfg)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.SensorIndex >= p.NumSensors() {
-			return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
-		}
-		frag := NewDataset(FullFeatureNames())
-		ap, err := NewDatasetAppender(frag, t.workload, cfg.Horizon, cfg.SensorIndex)
-		if err != nil {
-			return nil, err
-		}
-		if err := trace.RunStatic(p, t.workload, t.freq, cfg.StepsPerRun, ap); err != nil {
-			return nil, fmt.Errorf("telemetry: %s @ %g GHz: %w", t.workload, t.freq, err)
-		}
-		return frag, nil
+		key := scope.Key("fragment", t.workload, checkpoint.FormatFloat(t.freq))
+		return fragmentCell(cfg.Checkpoint, key, "dataset-fragment", func() (*Dataset, error) {
+			scfg := cfg.Sim
+			scfg.Seed = cfg.RunSeed(t.workload, t.freq)
+			p, err := sim.New(scfg)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.SensorIndex >= p.NumSensors() {
+				return nil, fmt.Errorf("telemetry: sensor index %d out of range", cfg.SensorIndex)
+			}
+			frag := NewDataset(FullFeatureNames())
+			ap, err := NewDatasetAppender(frag, t.workload, cfg.Horizon, cfg.SensorIndex)
+			if err != nil {
+				return nil, err
+			}
+			if err := trace.RunStatic(p, t.workload, t.freq, cfg.StepsPerRun, ap); err != nil {
+				return nil, fmt.Errorf("telemetry: %s @ %g GHz: %w", t.workload, t.freq, err)
+			}
+			return frag, nil
+		})
 	})
 	if err != nil {
 		return nil, err

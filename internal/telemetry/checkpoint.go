@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/checkpoint"
+)
+
+// Checkpointed dataset builds. When a BuildConfig/WalkConfig carries a
+// checkpoint store, every per-(workload, frequency) and per-(workload,
+// walk) fragment is persisted as its own cell the moment it is built, so
+// an interrupted campaign resumes with only the missing fragments
+// recomputed. The CSV codec round-trips float64 exactly (shortest
+// form, see WriteCSV), so a dataset assembled from replayed fragments
+// is bit-identical to one built from scratch.
+
+// BuildScope fingerprints the dataset-defining parts of the campaign for
+// checkpoint keying. Workers and the store itself are excluded: they
+// change wall-clock behaviour, never dataset content, and a campaign
+// checkpointed at -j8 must resume at -j1 (and vice versa).
+func (c BuildConfig) BuildScope() (checkpoint.Scope, error) {
+	c.Workers = 0
+	c.Checkpoint = nil
+	return checkpoint.NewScope("telemetry/build/v1", c)
+}
+
+// WalkScope is BuildScope for walk campaigns.
+func (c WalkConfig) WalkScope() (checkpoint.Scope, error) {
+	c.Workers = 0
+	c.Checkpoint = nil
+	return checkpoint.NewScope("telemetry/walk/v1", c)
+}
+
+// fragmentCell replays one dataset fragment from the store or builds and
+// persists it. A cell that fails to decode is quarantined and rebuilt —
+// corruption costs one fragment recompute, never a wrong dataset.
+func fragmentCell(store *checkpoint.Store, key, kind string, build func() (*Dataset, error)) (*Dataset, error) {
+	if store == nil {
+		return build()
+	}
+	if data, ok := store.Get(key); ok {
+		frag, err := ReadCSV(bytes.NewReader(data))
+		if err == nil {
+			return frag, nil
+		}
+		store.Discard(key, fmt.Sprintf("fragment does not decode: %v", err))
+	}
+	frag, err := build()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := frag.WriteCSV(&buf); err != nil {
+		return nil, fmt.Errorf("telemetry: encoding fragment cell: %w", err)
+	}
+	if err := store.Put(key, kind, buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("telemetry: checkpointing fragment: %w", err)
+	}
+	return frag, nil
+}

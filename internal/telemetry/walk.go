@@ -3,7 +3,9 @@ package telemetry
 import (
 	"context"
 	"fmt"
+	"strconv"
 
+	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/rng"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
@@ -43,6 +45,10 @@ type WalkConfig struct {
 	// (workload, walk) order and every walk's seeds derive from its own
 	// coordinates.
 	Workers int
+	// Checkpoint, when non-nil, persists each (workload, walk) fragment
+	// as a resumable cell keyed by the campaign configuration (see
+	// WalkScope). Like Workers it never affects dataset content.
+	Checkpoint *checkpoint.Store `json:"-"`
 }
 
 // DefaultWalkConfig returns the standard walk campaign: 600-step walks,
@@ -111,13 +117,23 @@ func BuildWalkContext(ctx context.Context, cfg WalkConfig) (*Dataset, error) {
 			tasks = append(tasks, task{name, walk})
 		}
 	}
-	frags, err := runner.Map(ctx, cfg.Workers, len(tasks), func(ctx context.Context, i int) (*Dataset, error) {
-		t := tasks[i]
-		frag := NewDataset(FullFeatureNames())
-		if err := buildOneWalk(cfg, t.workload, t.walk, frag); err != nil {
+	var scope checkpoint.Scope
+	if cfg.Checkpoint != nil {
+		var err error
+		if scope, err = cfg.WalkScope(); err != nil {
 			return nil, err
 		}
-		return frag, nil
+	}
+	frags, err := runner.Map(ctx, cfg.Workers, len(tasks), func(ctx context.Context, i int) (*Dataset, error) {
+		t := tasks[i]
+		key := scope.Key("walk-fragment", t.workload, strconv.Itoa(t.walk))
+		return fragmentCell(cfg.Checkpoint, key, "dataset-fragment", func() (*Dataset, error) {
+			frag := NewDataset(FullFeatureNames())
+			if err := buildOneWalk(cfg, t.workload, t.walk, frag); err != nil {
+				return nil, err
+			}
+			return frag, nil
+		})
 	})
 	if err != nil {
 		return nil, err
