@@ -11,7 +11,7 @@ GO ?= go
 GOFMT ?= gofmt
 SCENARIO := examples/platforms/mobile-7nm.json
 
-.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke soak-smoke ci bench bench-parallel bench-trace bench-gbt clean
+.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke ci bench bench-parallel bench-trace bench-gbt bench-engine clean
 
 all: build
 
@@ -49,6 +49,12 @@ bench-trace-smoke:
 bench-gbt-smoke:
 	$(GO) test -run='^$$' -bench='^BenchmarkTrain$$' -benchtime=1x .
 
+# Short run of the decision-engine benchmark: exercises the compiled
+# predict path behind a Session (the zero-alloc pin itself runs as
+# TestSessionDecideZeroAllocEndToEnd in the regular test gate).
+bench-engine-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkSessionDecide$$' -benchtime=100x -benchmem .
+
 # End-to-end smoke: every example builds, the quickstart runs, and each
 # CLI accepts a scenario file via -platform (trace dump, dataset
 # extraction + a platform-checked training run, and one quick experiment).
@@ -77,7 +83,7 @@ soak-smoke:
 	if [ ! -f smoke_ckpt/manifest.json ]; then echo "deadline smoke: no checkpoint saved"; rm -rf smoke_ckpt; exit 1; fi; \
 	rm -rf smoke_ckpt; echo "deadline smoke: exit 3 with resumable checkpoint, as intended"
 
-ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke smoke soak-smoke
+ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -94,6 +100,11 @@ bench-trace:
 # full telemetry dataset).
 bench-gbt:
 	BENCH_GBT=1 $(GO) test -run TestWriteBenchGBTArtefact -timeout 60m -v .
+
+# Refresh BENCH_engine.json (compiled flat-tree inference vs the pointer
+# walk, the zero-alloc Session.Decide path, and fleet scaling).
+bench-engine:
+	BENCH_ENGINE=1 $(GO) test -run TestWriteBenchEngineArtefact -timeout 30m -v .
 
 clean:
 	$(GO) clean ./...

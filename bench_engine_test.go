@@ -1,0 +1,341 @@
+// Decision-engine benches: the per-decision hot path the paper budgets
+// for on-die deployment (§V-E). These measure the served artefact — the
+// trained quick-campaign model behind a Session — not a synthetic tree.
+//
+// The observation stream cycles real telemetry harvested from a hot
+// simulated run, so the branch predictor cannot memorize one row and
+// flatter either predict path.
+//
+//	go test -bench='^BenchmarkSessionDecide' -benchmem .
+//	make bench-engine    # refresh BENCH_engine.json
+package boreas_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
+	"github.com/hotgauge/boreas/internal/rng"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/telemetry"
+	"github.com/hotgauge/boreas/internal/trace"
+)
+
+var (
+	engineObsOnce sync.Once
+	engineObs     []control.Observation
+	engineObsErr  error
+	// benchDecideSink keeps decisions live so the compiler cannot elide
+	// the loop under test.
+	benchDecideSink float64
+)
+
+// engineBenchObservations harvests decide-time observations — real
+// counters, real delayed sensor readings — across several workloads and
+// operating points. The spread matters: rows from one run at one
+// frequency route through the trees so uniformly that the branch
+// predictor memorizes the pointer walk, flattering the baseline a fleet
+// of diverse chips never sees.
+func engineBenchObservations(tb testing.TB) []control.Observation {
+	tb.Helper()
+	engineObsOnce.Do(func() {
+		p, err := sim.New(traceBenchSim())
+		if err != nil {
+			engineObsErr = err
+			return
+		}
+		for _, name := range []string{traceBenchWorkload, "bzip2", "mcf"} {
+			w, err := p.Workloads().ByName(name)
+			if err != nil {
+				engineObsErr = err
+				return
+			}
+			for _, freq := range []float64{3.0, 4.0, 4.75} {
+				if err := p.WarmStart(w, freq); err != nil {
+					engineObsErr = err
+					return
+				}
+				run := w.NewRun(p.Config().Seed)
+				engineObsErr = trace.Drive(p, run, func(int) float64 { return freq }, traceBenchSteps,
+					trace.ObserverFunc(func(step int, r *sim.StepResult) {
+						engineObs = append(engineObs, control.Observation{
+							Counters:   r.Counters,
+							SensorTemp: r.SensorDelayed[sim.DefaultSensorIndex],
+						})
+					}))
+				if engineObsErr != nil {
+					return
+				}
+			}
+		}
+	})
+	if engineObsErr != nil {
+		tb.Fatal(engineObsErr)
+	}
+	return engineObs
+}
+
+// engineBenchSession wraps a lab controller in a fresh session at the
+// 3.75 GHz baseline.
+func engineBenchSession(tb testing.TB, ctrl control.Controller) *engine.Session {
+	tb.Helper()
+	sess, err := engine.NewSession(engine.SessionConfig{Controller: ctrl, StartFreq: 3.75})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sess
+}
+
+// BenchmarkSessionDecide measures one closed-loop decision end to end —
+// feature extraction, compiled-tree inference (plus the what-if
+// prediction on climb probes), clamping and state update — for the
+// trained ML05 controller and the TH-00 baseline.
+func BenchmarkSessionDecide(b *testing.B) {
+	l := benchLab(b)
+	obs := engineBenchObservations(b)
+	ml05, err := l.MLController(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th00, err := l.TH00()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []control.Controller{ml05, th00} {
+		sess := engineBenchSession(b, c)
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchDecideSink = sess.Decide(obs[i%len(obs)]).Freq
+			}
+		})
+	}
+}
+
+// BenchmarkSessionDecideParallel runs one session per goroutine, every
+// session deciding on its own clone of the ML05 controller against the
+// one shared compiled model — the fleet-serving memory layout.
+func BenchmarkSessionDecideParallel(b *testing.B) {
+	l := benchLab(b)
+	obs := engineBenchObservations(b)
+	ml05, err := l.MLController(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sess := engineBenchSession(b, control.CloneController(ml05))
+		i := 0
+		var sink float64
+		for pb.Next() {
+			sink = sess.Decide(obs[i%len(obs)]).Freq
+			i++
+		}
+		benchDecideSink = sink
+	})
+}
+
+// TestSessionDecideZeroAllocEndToEnd pins the full served decide path —
+// trained model, feature extraction, what-if probe — at zero heap
+// allocations per decision. This is the regular-CI guard behind the
+// BENCH_engine.json numbers.
+func TestSessionDecideZeroAllocEndToEnd(t *testing.T) {
+	l := benchLab(t)
+	obs := engineBenchObservations(t)
+	ml05, err := l.MLController(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml05.Pred.Compiled() == nil {
+		t.Fatal("trained model failed to compile; the hot path fell back to the pointer walk")
+	}
+	sess := engineBenchSession(t, ml05)
+	// Warm up: grow the scratch buffers and the stats fields once.
+	for i := 0; i < 3*len(obs); i++ {
+		benchDecideSink = sess.Decide(obs[i%len(obs)]).Freq
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		benchDecideSink = sess.Decide(obs[i%len(obs)]).Freq
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Session.Decide allocates %.1f objects per decision, want 0", allocs)
+	}
+}
+
+// TestWriteBenchEngineArtefact measures the engine hot path on the
+// trained quick-campaign model and records the result in
+// BENCH_engine.json. Gated behind an env var so the regular test run
+// stays fast:
+//
+//	BENCH_ENGINE=1 go test -run TestWriteBenchEngineArtefact .
+func TestWriteBenchEngineArtefact(t *testing.T) {
+	if os.Getenv("BENCH_ENGINE") == "" {
+		t.Skip("set BENCH_ENGINE=1 to refresh BENCH_engine.json")
+	}
+	l := benchLab(t)
+	obs := engineBenchObservations(t)
+	pred, err := l.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := pred.Compiled()
+	if compiled == nil {
+		t.Fatal("trained model failed to compile")
+	}
+	model := pred.Model()
+
+	// Project the observations onto the model's feature schema once; both
+	// predict paths then score identical rows.
+	rows := make([][]float64, len(obs))
+	for i, o := range obs {
+		full := telemetry.Extract(o.Counters, o.SensorTemp)
+		row := make([]float64, len(model.FeatureNames))
+		for j, name := range model.FeatureNames {
+			col, err := telemetry.FeatureIndex(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row[j] = full[col]
+		}
+		rows[i] = row
+	}
+	// Span rows: uniform samples over each feature's observed range. A
+	// single chip's telemetry clusters tightly (the model splits mostly
+	// on the sensor temperature), which keeps the pointer walk's branches
+	// predictable; a heterogeneous fleet spans the space and exposes the
+	// walk's misprediction cost. Both regimes are measured below.
+	mins := append([]float64(nil), rows[0]...)
+	maxs := append([]float64(nil), rows[0]...)
+	for _, row := range rows {
+		for j, v := range row {
+			mins[j] = math.Min(mins[j], v)
+			maxs[j] = math.Max(maxs[j], v)
+		}
+	}
+	span := rng.New(7)
+	spanRows := make([][]float64, 512)
+	for i := range spanRows {
+		row := make([]float64, len(mins))
+		for j := range row {
+			row[j] = mins[j] + span.Float64()*(maxs[j]-mins[j])
+		}
+		spanRows[i] = row
+	}
+	for i, row := range append(append([][]float64(nil), rows...), spanRows...) {
+		if got, want := compiled.Predict(row), model.Predict(row); got != want {
+			t.Fatalf("row %d: compiled %v != pointer walk %v", i, got, want)
+		}
+	}
+
+	pointer := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchDecideSink = model.Predict(spanRows[i%len(spanRows)])
+		}
+	})
+	flat := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchDecideSink = compiled.Predict(spanRows[i%len(spanRows)])
+		}
+	})
+	pointerTel := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchDecideSink = model.Predict(rows[i%len(rows)])
+		}
+	})
+	flatTel := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchDecideSink = compiled.Predict(rows[i%len(rows)])
+		}
+	})
+
+	ml05, err := l.MLController(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := engine.NewSession(engine.SessionConfig{Controller: ml05, StartFreq: 3.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*len(obs); i++ {
+		benchDecideSink = sess.Decide(obs[i%len(obs)]).Freq
+	}
+	decide := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchDecideSink = sess.Decide(obs[i%len(obs)]).Freq
+		}
+	})
+	if decide.AllocsPerOp() != 0 {
+		t.Errorf("Session.Decide allocates %d objects/op, the artefact pins 0", decide.AllocsPerOp())
+	}
+
+	// A small fleet on the quick campaign: same model, N chips, recorded
+	// at serial and full parallelism to show the scaling headroom.
+	fleetCfg := engine.FleetConfig{
+		Chips:      8,
+		Workloads:  l.Config().TestNames,
+		Controller: ml05,
+		Loop:       engine.LoopConfig{Steps: 72, DecisionPeriod: 12, StartFreq: 3.75, SensorIndex: sim.DefaultSensorIndex},
+		Seed:       1,
+	}
+	fleetSerial := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := fleetCfg
+			cfg.Workers = 1
+			if _, err := engine.RunFleet(context.Background(), l.Pipeline(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fleetParallel := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := fleetCfg
+			cfg.Workers = 0 // one per CPU
+			if _, err := engine.RunFleet(context.Background(), l.Pipeline(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	speedup := float64(pointer.NsPerOp()) / float64(flat.NsPerOp())
+	artefact := map[string]any{
+		"cpus":                                 runtime.NumCPU(),
+		"observations":                         len(obs),
+		"model_trees":                          compiled.NumTrees(),
+		"model_nodes":                          compiled.NumNodes(),
+		"compiled_bytes":                       compiled.SizeBytes(),
+		"compiled_fixed_depth":                 compiled.Steps(),
+		"pointer_predict_ns_per_op":            pointer.NsPerOp(),
+		"compiled_predict_ns_per_op":           flat.NsPerOp(),
+		"compiled_speedup":                     speedup,
+		"pointer_predict_telemetry_ns_per_op":  pointerTel.NsPerOp(),
+		"compiled_predict_telemetry_ns_per_op": flatTel.NsPerOp(),
+		"compiled_speedup_telemetry":           float64(pointerTel.NsPerOp()) / float64(flatTel.NsPerOp()),
+		"decide_ns_per_op":                     decide.NsPerOp(),
+		"decide_allocs_per_op":                 decide.AllocsPerOp(),
+		"decide_bytes_per_op":                  decide.AllocedBytesPerOp(),
+		"fleet_chips":                          fleetCfg.Chips,
+		"fleet_serial_ns_per_run":              fleetSerial.NsPerOp(),
+		"fleet_parallel_ns_per_run":            fleetParallel.NsPerOp(),
+		"fleet_parallel_speedup":               float64(fleetSerial.NsPerOp()) / float64(fleetParallel.NsPerOp()),
+		"identity_verified_by":                 "FuzzCompiledPredict, TestConcurrentSessionsShareCompiledModel, row check in this test",
+	}
+	data, err := json.MarshalIndent(artefact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("decide: %d ns/op, %d allocs/op; compiled predict %.2fx over pointer walk; fleet x%d %.2fx at full parallelism",
+		decide.NsPerOp(), decide.AllocsPerOp(), speedup,
+		fleetCfg.Chips, float64(fleetSerial.NsPerOp())/float64(fleetParallel.NsPerOp()))
+}

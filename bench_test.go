@@ -25,6 +25,7 @@ import (
 	"github.com/hotgauge/boreas/internal/arch"
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/experiments"
 	"github.com/hotgauge/boreas/internal/hotspot"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
@@ -43,13 +44,13 @@ var (
 	labErr   error
 )
 
-func benchLab(b *testing.B) *experiments.Lab {
-	b.Helper()
+func benchLab(tb testing.TB) *experiments.Lab {
+	tb.Helper()
 	labOnce.Do(func() {
 		quickLab, labErr = experiments.NewLab(experiments.QuickConfig())
 	})
 	if labErr != nil {
-		b.Fatal(labErr)
+		tb.Fatal(labErr)
 	}
 	return quickLab
 }
@@ -415,7 +416,7 @@ func BenchmarkMicro_PipelineStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w, err := workload.ByName("calculix")
+	w, err := workload.DefaultSet().ByName("calculix")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -510,7 +511,7 @@ func BenchmarkMicro_ControllerDecision(b *testing.B) {
 
 func BenchmarkMicro_VoltageLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = power.VoltageFor(2.0 + float64(i%13)*0.25)
+		_ = power.DefaultVF().VoltageFor(2.0 + float64(i%13)*0.25)
 	}
 }
 
@@ -558,7 +559,7 @@ func BenchmarkParallel_StaticSweep(b *testing.B) {
 	for _, j := range []int{1, 4} {
 		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := control.BuildOracleContext(context.Background(), p,
+				if _, err := engine.BuildOracleContext(context.Background(), p,
 					cfg.Workloads, cfg.Frequencies, cfg.StepsPerRun, j); err != nil {
 					b.Fatal(err)
 				}
@@ -592,7 +593,7 @@ func TestWriteBenchParallelArtefact(t *testing.T) {
 			t.Fatal(err)
 		}
 		t0 := time.Now()
-		if _, err := control.BuildOracleContext(context.Background(), p,
+		if _, err := engine.BuildOracleContext(context.Background(), p,
 			cfg.Workloads, cfg.Frequencies, cfg.StepsPerRun, j); err != nil {
 			t.Fatal(err)
 		}
@@ -819,7 +820,7 @@ func TestWriteBenchGBTArtefact(t *testing.T) {
 	if os.Getenv("BENCH_GBT") == "" {
 		t.Skip("set BENCH_GBT=1 to refresh BENCH_gbt.json")
 	}
-	cfg := telemetry.DefaultBuildConfig(workload.TrainNames, power.FrequencySteps())
+	cfg := telemetry.DefaultBuildConfig(workload.DefaultSet().TrainNames(), power.DefaultVF().FrequencySteps())
 	cfg.Sim.Thermal.NX, cfg.Sim.Thermal.NY = 24, 18
 	cfg.Sim.WarmStartProbeSteps = 5
 	cfg.Workers = 4

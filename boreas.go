@@ -37,6 +37,7 @@ import (
 	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/experiments"
 	"github.com/hotgauge/boreas/internal/faults"
 	"github.com/hotgauge/boreas/internal/hotspot"
@@ -175,22 +176,22 @@ type (
 )
 
 // Workloads returns the full 27-benchmark catalogue.
-func Workloads() []*Workload { return workload.Catalog() }
+func Workloads() []*Workload { return workload.DefaultSet().Catalog() }
 
 // WorkloadByName looks up one benchmark.
-func WorkloadByName(name string) (*Workload, error) { return workload.ByName(name) }
+func WorkloadByName(name string) (*Workload, error) { return workload.DefaultSet().ByName(name) }
 
 // TrainWorkloads returns the Table III training-set names.
-func TrainWorkloads() []string { return append([]string(nil), workload.TrainNames...) }
+func TrainWorkloads() []string { return workload.DefaultSet().TrainNames() }
 
 // TestWorkloads returns the Table III test-set names.
-func TestWorkloads() []string { return append([]string(nil), workload.TestNames...) }
+func TestWorkloads() []string { return workload.DefaultSet().TestNames() }
 
 // Frequencies returns the 13 DVFS operating points (2.0-5.0 GHz).
-func Frequencies() []float64 { return power.FrequencySteps() }
+func Frequencies() []float64 { return power.DefaultVF().FrequencySteps() }
 
 // VoltageFor returns the Table I supply voltage for a frequency.
-func VoltageFor(fGHz float64) float64 { return power.VoltageFor(fGHz) }
+func VoltageFor(fGHz float64) float64 { return power.DefaultVF().VoltageFor(fGHz) }
 
 // Telemetry and datasets.
 type (
@@ -278,16 +279,18 @@ func NewMLController(pred *Predictor, guardband float64) (*MLController, error) 
 	return core.NewController(pred, guardband)
 }
 
-// Controllers and the closed-loop harness.
+// Controllers and the closed-loop harness. Controllers are pure decision
+// functions (internal/control); the engine wraps them in Sessions that
+// own the per-chip operating state and drives them against the simulator.
 type (
 	// Controller selects the next frequency from telemetry.
 	Controller = control.Controller
 	// Observation is the controller's per-decision input.
 	Observation = control.Observation
 	// LoopConfig parametrises a closed-loop run.
-	LoopConfig = control.LoopConfig
+	LoopConfig = engine.LoopConfig
 	// LoopResult scores one run.
-	LoopResult = control.LoopResult
+	LoopResult = engine.LoopResult
 	// CriticalTemps is the thermal-threshold table.
 	CriticalTemps = control.CriticalTemps
 	// ThermalController is the TH-xx reactive baseline.
@@ -296,25 +299,65 @@ type (
 	FixedController = control.FixedController
 	// OracleTable is the static-sweep upper bound.
 	OracleTable = control.OracleTable
+	// Session is one chip's self-contained decision loop: controller,
+	// VF operating state, and diagnostics.
+	Session = engine.Session
+	// SessionConfig parametrises a Session.
+	SessionConfig = engine.SessionConfig
+	// Decision is the outcome of one Session.Decide call.
+	Decision = engine.Decision
+	// SessionStats aggregates per-session decision diagnostics.
+	SessionStats = engine.Stats
+	// FleetConfig parametrises a fleet of independent chip sessions.
+	FleetConfig = engine.FleetConfig
+	// FleetResult aggregates a fleet run.
+	FleetResult = engine.FleetResult
+	// ChipResult is the slim per-chip summary of a fleet run.
+	ChipResult = engine.ChipResult
+	// CompiledModel is the flat, allocation-free form of a trained GBT
+	// ensemble (GBTModel.Compile) - the inference hot path.
+	CompiledModel = gbt.Compiled
 )
 
 // DefaultLoopConfig matches the paper's dynamic runs.
-func DefaultLoopConfig() LoopConfig { return control.DefaultLoopConfig() }
+func DefaultLoopConfig() LoopConfig { return engine.DefaultLoopConfig() }
 
 // RunLoop executes one closed-loop evaluation.
 func RunLoop(p *Pipeline, w *Workload, ctrl Controller, cfg LoopConfig) (*LoopResult, error) {
-	return control.RunLoop(p, w, ctrl, cfg)
+	return engine.RunLoop(p, w, ctrl, cfg)
+}
+
+// NewSession builds a per-chip decision session around a controller.
+func NewSession(cfg SessionConfig) (*Session, error) { return engine.NewSession(cfg) }
+
+// NewPlatformSession builds a session on a platform's VF curve
+// (startFreq 0: the curve's maximum).
+func NewPlatformSession(p *Platform, ctrl Controller, startFreq float64) (*Session, error) {
+	return engine.NewPlatformSession(p, ctrl, startFreq)
+}
+
+// CloneController returns a controller safe to run concurrently with c:
+// stateful controllers are cloned (shared trained artifacts, private
+// state), stateless ones are returned as-is.
+func CloneController(c Controller) Controller { return control.CloneController(c) }
+
+// RunFleet executes cfg.Chips independent closed-loop sessions against
+// clones of the pipeline (derived seeds, cloned controllers, round-robin
+// workloads) and aggregates slim per-chip summaries. Results are
+// bit-identical at any worker count.
+func RunFleet(ctx context.Context, p *Pipeline, cfg FleetConfig) (*FleetResult, error) {
+	return engine.RunFleet(ctx, p, cfg)
 }
 
 // BuildCriticalTemps extracts the thermal-threshold table from sweeps.
 func BuildCriticalTemps(p *Pipeline, workloads []string, freqs []float64, steps, sensorIndex int) (*CriticalTemps, error) {
-	return control.BuildCriticalTemps(p, workloads, freqs, steps, sensorIndex)
+	return engine.BuildCriticalTemps(p, workloads, freqs, steps, sensorIndex)
 }
 
 // BuildCriticalTempsContext is BuildCriticalTemps with cancellation and a
 // worker count (0 or negative: one per CPU).
 func BuildCriticalTempsContext(ctx context.Context, p *Pipeline, workloads []string, freqs []float64, steps, sensorIndex, workers int) (*CriticalTemps, error) {
-	return control.BuildCriticalTempsContext(ctx, p, workloads, freqs, steps, sensorIndex, workers)
+	return engine.BuildCriticalTempsContext(ctx, p, workloads, freqs, steps, sensorIndex, workers)
 }
 
 // NewThermalController builds a TH-xx controller.
@@ -325,19 +368,19 @@ func NewThermalController(table *CriticalTemps, relax float64) *ThermalControlle
 // CalibrateThermalMargin constructs the paper's TH-00: the smallest
 // threshold margin that is incursion-free on the calibration workloads.
 func CalibrateThermalMargin(p *Pipeline, table *CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64) (*ThermalController, error) {
-	return control.CalibrateThermalMargin(p, table, workloads, cfg, maxMargin)
+	return engine.CalibrateThermalMargin(p, table, workloads, cfg, maxMargin)
 }
 
 // BuildOracle sweeps every workload over every frequency with perfect
 // knowledge (the upper bound of Fig 2).
 func BuildOracle(p *Pipeline, workloads []string, freqs []float64, steps int) (*OracleTable, error) {
-	return control.BuildOracle(p, workloads, freqs, steps)
+	return engine.BuildOracle(p, workloads, freqs, steps)
 }
 
 // BuildOracleContext is BuildOracle with cancellation and a worker count
 // (0 or negative: one per CPU).
 func BuildOracleContext(ctx context.Context, p *Pipeline, workloads []string, freqs []float64, steps, workers int) (*OracleTable, error) {
-	return control.BuildOracleContext(ctx, p, workloads, freqs, steps, workers)
+	return engine.BuildOracleContext(ctx, p, workloads, freqs, steps, workers)
 }
 
 // Fault injection and the guarded fallback controller.

@@ -5,6 +5,7 @@
 //	boreas -quick -experiment fig2  # reduced campaign for fast iteration
 //	boreas -experiment fig8 -out ./traces   # also write per-run CSVs
 //	boreas -quick -experiment faults        # controllers under injected telemetry faults
+//	boreas -quick -experiment fleet -chips 32  # N chips served by one trained model
 //	boreas -platform mobile-7nm -quick -experiment fig7      # on a registered variant
 //	boreas -platform scenario.json -experiment fig2          # on a scenario file
 //	boreas -experiment all -checkpoint ckpt                  # crash-safe: completed work persists
@@ -39,7 +40,7 @@ import (
 var experimentNames = []string{
 	"table1", "fig1", "fig2", "table2", "table3", "table4",
 	"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "overhead",
-	"cochran", "delay", "placement", "faults",
+	"cochran", "delay", "placement", "faults", "fleet",
 }
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "use the reduced campaign (seconds instead of minutes)")
 		out     = flag.String("out", "", "directory for CSV artefacts (fig5/fig8 traces); empty disables")
 		workers = flag.Int("j", runner.DefaultWorkers(), "campaign parallelism (simulation runs in flight); results are identical at any -j")
+		chips   = flag.Int("chips", 16, "fleet size for -experiment fleet")
 		pfArg   = flag.String("platform", "skylake-7nm", "platform: a registered name ("+strings.Join(platform.Names(), ", ")+") or a scenario .json file")
 	)
 	ck := cliutil.RegisterFlags()
@@ -253,6 +255,13 @@ func main() {
 	})
 	run("faults", func() (string, error) {
 		r, err := experiments.FaultGrid(lab, experiments.FaultGridConfig{})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fleet", func() (string, error) {
+		r, err := experiments.FleetStudy(lab, *chips)
 		if err != nil {
 			return "", err
 		}

@@ -89,6 +89,12 @@ func main() {
 			len(m.Trees), m.Params.MaxDepth, len(m.FeatureNames), m.Base)
 		fmt.Printf("cost: %d weight bytes, %d comparisons + %d adds per prediction\n",
 			m.WeightBytes(), cmp, adds)
+		if c, err := m.Compile(); err != nil {
+			fmt.Printf("compiled: unavailable (%v), serving falls back to the pointer walk\n", err)
+		} else {
+			fmt.Printf("compiled: %d B flat-tree tables, %d nodes, fixed depth %d per tree\n",
+				c.SizeBytes(), c.NumNodes(), c.Steps())
+		}
 		fmt.Println("importance:")
 		for i, rf := range m.RankedImportance() {
 			if i >= 20 || rf.Gain == 0 {

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/power"
 	"github.com/hotgauge/boreas/internal/rng"
 	"github.com/hotgauge/boreas/internal/runner"
@@ -111,7 +112,7 @@ func TestEquivalence_BuildWalkDataset(t *testing.T) {
 // materializedWalk is the seed implementation of one frequency walk:
 // materialize the full trace and hold schedule, then label post hoc.
 func materializedWalk(cfg telemetry.WalkConfig, name string, walk int, ds *telemetry.Dataset) error {
-	w, err := workload.ByName(name)
+	w, err := workload.DefaultSet().ByName(name)
 	if err != nil {
 		return err
 	}
@@ -204,7 +205,7 @@ func TestEquivalence_OraclePeaks(t *testing.T) {
 	}
 
 	for _, j := range []int{1, 8} {
-		table, err := control.BuildOracleContext(context.Background(), p, workloads, freqs, steps, j)
+		table, err := engine.BuildOracleContext(context.Background(), p, workloads, freqs, steps, j)
 		if err != nil {
 			t.Fatalf("oracle at -j%d: %v", j, err)
 		}
@@ -261,7 +262,7 @@ func TestEquivalence_CriticalTemps(t *testing.T) {
 	}
 
 	for _, j := range []int{1, 8} {
-		ct, err := control.BuildCriticalTempsContext(context.Background(), p, workloads, freqs, steps, sensorIndex, j)
+		ct, err := engine.BuildCriticalTempsContext(context.Background(), p, workloads, freqs, steps, sensorIndex, j)
 		if err != nil {
 			t.Fatalf("crit temps at -j%d: %v", j, err)
 		}
@@ -279,15 +280,15 @@ func TestEquivalence_RunLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := workload.ByName("gromacs")
+	w, err := workload.DefaultSet().ByName("gromacs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	lc := control.DefaultLoopConfig()
+	lc := engine.DefaultLoopConfig()
 	lc.Steps = 60
 	lc.DecisionPeriod = 12
 
-	table, err := control.BuildCriticalTemps(p, []string{"gromacs", "gamess"},
+	table, err := engine.BuildCriticalTemps(p, []string{"gromacs", "gamess"},
 		[]float64{3.5, 3.75, 4.0, 4.25, 4.5}, 48, lc.SensorIndex)
 	if err != nil {
 		t.Fatal(err)
@@ -322,7 +323,7 @@ func TestEquivalence_RunLoop(t *testing.T) {
 				SensorTemp:  last.SensorDelayed[lc.SensorIndex],
 				CurrentFreq: freq,
 			}
-			freq = power.ClampFrequency(ctrl.Decide(obs))
+			freq = power.DefaultVF().ClampFrequency(ctrl.Decide(obs))
 		}
 	}
 
@@ -330,7 +331,7 @@ func TestEquivalence_RunLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := control.RunLoop(ps, w, ctrl, lc)
+	res, err := engine.RunLoop(ps, w, ctrl, lc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,16 @@
+package arch
+
+import "unsafe"
+
+// NumCounters is the number of float64 fields in Counters.
+const NumCounters = int(unsafe.Sizeof(Counters{}) / 8)
+
+// Values returns the counter fields as a flat slice, in declaration
+// order, aliasing c's storage. It relies on Counters being a struct of
+// float64 fields only (no padding), which TestValuesMatchesReflection
+// pins: adding a non-float64 field breaks that test before this view can
+// misread anything. The anomaly screens on the decision path use it to
+// scan all counters without per-decision reflection or allocation.
+func (c *Counters) Values() []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(c)), NumCounters)
+}

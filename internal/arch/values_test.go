@@ -1,0 +1,46 @@
+package arch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestValuesMatchesReflection pins the layout assumption behind
+// Counters.Values: every field is a float64 (so the struct is packed,
+// with no padding or reordering for the flat view to trip over), and the
+// unsafe view reads exactly the fields reflection reads, in order.
+func TestValuesMatchesReflection(t *testing.T) {
+	rt := reflect.TypeOf(Counters{})
+	if rt.NumField()*8 != int(rt.Size()) {
+		t.Fatalf("Counters has padding: %d fields but %d bytes", rt.NumField(), rt.Size())
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		if f := rt.Field(i); f.Type.Kind() != reflect.Float64 {
+			t.Fatalf("Counters.%s is %s; Values() requires all-float64 fields", f.Name, f.Type)
+		}
+	}
+	if NumCounters != rt.NumField() {
+		t.Fatalf("NumCounters = %d, struct has %d fields", NumCounters, rt.NumField())
+	}
+
+	var c Counters
+	rv := reflect.ValueOf(&c).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetFloat(float64(i) + 0.5)
+	}
+	vals := c.Values()
+	if len(vals) != rt.NumField() {
+		t.Fatalf("Values() has %d entries, want %d", len(vals), rt.NumField())
+	}
+	for i, v := range vals {
+		if want := rv.Field(i).Float(); v != want {
+			t.Fatalf("Values()[%d] = %v, want %v (%s)", i, v, want, rt.Field(i).Name)
+		}
+	}
+
+	// The view aliases, not copies: writes through it land in the struct.
+	vals[0] = 123.25
+	if c.FrequencyGHz != 123.25 {
+		t.Fatal("Values() does not alias the struct storage")
+	}
+}

@@ -38,6 +38,15 @@ type CochranReda struct {
 
 	featureIdx []int // counter features used (excludes the sensor)
 	sensorIdx  int
+
+	// Per-instance scratch for predictTemp, reused across decisions so
+	// the decide path is allocation-free. A CochranReda is therefore NOT
+	// safe for concurrent use; run concurrent chips on Clone()s (the
+	// trained artifacts above are immutable and shared).
+	full       []float64
+	counterRow []float64
+	pc         []float64
+	regRow     []float64
 }
 
 // CochranConfig sizes the baseline.
@@ -168,6 +177,15 @@ func (c *CochranReda) Name() string { return fmt.Sprintf("CR-%02.0f", c.Relax) }
 // Reset implements Controller.
 func (c *CochranReda) Reset() {}
 
+// Clone implements Cloneable: the trained PCA/k-means/regression
+// artifacts are shared (immutable at decide time), the scratch buffers
+// are private to the new instance.
+func (c *CochranReda) Clone() Controller {
+	n := *c
+	n.full, n.counterRow, n.pc, n.regRow = nil, nil, nil, nil
+	return &n
+}
+
 // predictTemp returns the model's future-temperature prediction at the
 // given frequency, falling back to the current reading when no regression
 // is available for the (phase, frequency) cell.
@@ -183,18 +201,23 @@ func (c *CochranReda) predictTemp(obs Observation, fGHz float64) float64 {
 	if err != nil {
 		return obs.SensorTemp
 	}
-	full := telemetry.Extract(obs.Counters, obs.SensorTemp)
-	counterRow := make([]float64, len(c.featureIdx))
-	for j, idx := range c.featureIdx {
-		counterRow[j] = full[idx]
+	c.full = telemetry.ExtractInto(c.full, obs.Counters, obs.SensorTemp)
+	if cap(c.counterRow) < len(c.featureIdx) {
+		c.counterRow = make([]float64, len(c.featureIdx))
 	}
-	pc := c.pcaModel.Transform(counterRow)
-	phase := kmeans.Nearest(c.phases, pc)
+	c.counterRow = c.counterRow[:len(c.featureIdx)]
+	for j, idx := range c.featureIdx {
+		c.counterRow[j] = c.full[idx]
+	}
+	c.pc = c.pcaModel.TransformInto(c.pc, c.counterRow)
+	phase := kmeans.Nearest(c.phases, c.pc)
 	m := c.reg[phase][fi]
 	if m == nil {
 		return obs.SensorTemp
 	}
-	return m.Predict(append([]float64{obs.SensorTemp}, pc...))
+	c.regRow = append(c.regRow[:0], obs.SensorTemp)
+	c.regRow = append(c.regRow, c.pc...)
+	return m.Predict(c.regRow)
 }
 
 // Decide implements Controller with the same threshold policy as the TH

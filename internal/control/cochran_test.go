@@ -7,7 +7,6 @@ import (
 	"github.com/hotgauge/boreas/internal/arch"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // cochranDataset builds a small real dataset for baseline training.
@@ -86,31 +85,6 @@ func TestCochranDecideDirections(t *testing.T) {
 	cold := Observation{SensorTemp: 46, CurrentFreq: 3.75, Counters: arch.Counters{FrequencyGHz: 3.75, TotalCycles: 1}}
 	if f := cr.Decide(cold); f < 3.75 {
 		t.Fatalf("cold decision %v, want hold or climb", f)
-	}
-}
-
-func TestCochranClosedLoopRuns(t *testing.T) {
-	p := fastSim(t)
-	ds := cochranDataset(t)
-	ct, err := BuildCriticalTemps(p, []string{"calculix", "gamess"},
-		[]float64{3.75, 4.0, 4.25, 4.5}, 40, sim.DefaultSensorIndex)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cr, err := TrainCochranReda(ds, ct, 0, DefaultCochranConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cr.Margin = 10
-	w, _ := workload.ByName("gamess")
-	cfg := DefaultLoopConfig()
-	cfg.Steps = 48
-	res, err := RunLoop(p, w, cr, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.AvgFreq < 2.0 || res.AvgFreq > 5.0 {
-		t.Fatalf("implausible average frequency %v", res.AvgFreq)
 	}
 }
 

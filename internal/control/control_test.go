@@ -1,140 +1,10 @@
 package control
 
 import (
-	"math"
 	"testing"
 
 	"github.com/hotgauge/boreas/internal/power"
-	"github.com/hotgauge/boreas/internal/sim"
-	"github.com/hotgauge/boreas/internal/workload"
 )
-
-// fastSim returns a reduced pipeline for quick closed-loop tests.
-func fastSim(t *testing.T) *sim.Pipeline {
-	t.Helper()
-	cfg := sim.DefaultConfig()
-	cfg.Thermal.NX, cfg.Thermal.NY = 24, 18
-	cfg.Core.SampleAccesses = 512
-	cfg.Core.SampleBranches = 256
-	cfg.WarmStartProbeSteps = 5
-	p, err := sim.New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return p
-}
-
-func TestLoopConfigValidate(t *testing.T) {
-	bad := DefaultLoopConfig()
-	bad.Steps = 0
-	if err := bad.Validate(); err == nil {
-		t.Fatal("expected steps error")
-	}
-	bad = DefaultLoopConfig()
-	bad.DecisionPeriod = 200
-	if err := bad.Validate(); err == nil {
-		t.Fatal("expected period error")
-	}
-	bad = DefaultLoopConfig()
-	bad.StartFreq = 3.8
-	if err := bad.Validate(); err == nil {
-		t.Fatal("expected frequency error")
-	}
-	bad = DefaultLoopConfig()
-	bad.SensorIndex = -1
-	if err := bad.Validate(); err == nil {
-		t.Fatal("expected sensor error")
-	}
-}
-
-func TestFixedControllerHoldsFrequency(t *testing.T) {
-	p := fastSim(t)
-	w, _ := workload.ByName("gamess")
-	ctrl := &FixedController{ControllerName: "Global", Frequency: 3.75}
-	cfg := DefaultLoopConfig()
-	cfg.Steps = 48
-	res, err := RunLoop(p, w, ctrl, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Freqs) != 48 {
-		t.Fatalf("trace length %d", len(res.Freqs))
-	}
-	for _, f := range res.Freqs {
-		if f != 3.75 {
-			t.Fatalf("fixed controller drifted to %v", f)
-		}
-	}
-	if math.Abs(res.AvgFreq-3.75) > 1e-12 {
-		t.Fatalf("avg freq %v", res.AvgFreq)
-	}
-	if res.Controller != "Global" || res.Workload != "gamess" {
-		t.Fatal("result metadata wrong")
-	}
-}
-
-func TestRunLoopCountsIncursions(t *testing.T) {
-	// Pin a hot workload above its ceiling: incursions must be detected.
-	p := fastSim(t)
-	w, _ := workload.ByName("calculix")
-	ctrl := &FixedController{ControllerName: "hot", Frequency: 5.0}
-	cfg := DefaultLoopConfig()
-	cfg.StartFreq = 5.0
-	cfg.Steps = 60
-	res, err := RunLoop(p, w, ctrl, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Incursions == 0 {
-		t.Fatal("calculix pinned at 5 GHz must incur hotspots")
-	}
-	if res.PeakSeverity < 1.0 {
-		t.Fatalf("peak severity %v with incursions", res.PeakSeverity)
-	}
-}
-
-func smallTable(t *testing.T, p *sim.Pipeline) *CriticalTemps {
-	t.Helper()
-	ct, err := BuildCriticalTemps(p, []string{"calculix", "gamess"},
-		[]float64{3.75, 4.25, 4.75}, 60, sim.DefaultSensorIndex)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return ct
-}
-
-func TestBuildCriticalTempsShape(t *testing.T) {
-	p := fastSim(t)
-	ct := smallTable(t, p)
-	// calculix at 4.75 must have a finite critical temperature; at 3.75
-	// it should be safe (infinite threshold).
-	if math.IsInf(ct.PerWorkload["calculix"][4.75], 1) {
-		t.Fatal("calculix at 4.75 GHz should have a critical temperature")
-	}
-	if !math.IsInf(ct.PerWorkload["gamess"][3.75], 1) {
-		t.Fatal("gamess at 3.75 GHz should never hit severity 1")
-	}
-	// Global table is the min over workloads.
-	for _, f := range []float64{3.75, 4.25, 4.75} {
-		want := math.Min(ct.PerWorkload["calculix"][f], ct.PerWorkload["gamess"][f])
-		if ct.GlobalAt(f) != want {
-			t.Fatalf("global at %v is %v, want %v", f, ct.GlobalAt(f), want)
-		}
-	}
-	if !math.IsInf(ct.GlobalAt(2.0), 1) {
-		t.Fatal("missing frequency should be +Inf")
-	}
-}
-
-func TestBuildCriticalTempsErrors(t *testing.T) {
-	p := fastSim(t)
-	if _, err := BuildCriticalTemps(p, nil, []float64{3.75}, 10, 0); err == nil {
-		t.Fatal("expected empty-workloads error")
-	}
-	if _, err := BuildCriticalTemps(p, []string{"gamess"}, []float64{3.75}, 10, 99); err == nil {
-		t.Fatal("expected sensor-index error")
-	}
-}
 
 func TestThermalControllerThrottlesWhenHot(t *testing.T) {
 	ct := &CriticalTemps{Global: map[float64]float64{4.0: 70, 4.25: 65}}
@@ -181,61 +51,36 @@ func TestThermalControllerRespectsMaxFrequency(t *testing.T) {
 	}
 }
 
-func TestThermalLoopSafeOnTrainingWorkload(t *testing.T) {
-	// The TH-00 controller built from a table covering the workload must
-	// keep it free of incursions in the closed loop.
-	p := fastSim(t)
-	ct, err := BuildCriticalTemps(p, []string{"calculix", "gamess", "gromacs"},
-		power.FrequencySteps(), 60, sim.DefaultSensorIndex)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := DefaultLoopConfig()
-	cfg.Steps = 72
-	th, err := CalibrateThermalMargin(p, ct, []string{"calculix", "gamess", "gromacs"}, cfg, 30)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, name := range []string{"calculix", "gamess"} {
-		w, _ := workload.ByName(name)
-		res, err := RunLoop(p, w, th, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Incursions > 0 {
-			t.Fatalf("TH-00 incurred %d hotspots on %s", res.Incursions, name)
-		}
+func TestCloneControllerSharesStateless(t *testing.T) {
+	fc := &FixedController{ControllerName: "x", Frequency: 3.75}
+	if CloneController(fc) != Controller(fc) {
+		t.Fatal("stateless controller should be its own clone")
 	}
 }
 
-func TestOracleTable(t *testing.T) {
-	p := fastSim(t)
-	freqs := []float64{3.75, 4.25, 4.75}
-	ot, err := BuildOracle(p, []string{"calculix", "omnetpp"}, freqs, 60)
+func TestGuardedControllerCloneIsIndependent(t *testing.T) {
+	table := &CriticalTemps{Global: map[float64]float64{3.75: 90}}
+	g, err := NewGuardedController(NewThermalController(table, 0),
+		NewThermalController(table, 0), GuardConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// calculix ceiling is below omnetpp's.
-	if ot.Best["calculix"] >= ot.Best["omnetpp"] {
-		t.Fatalf("oracle ordering wrong: calculix %v vs omnetpp %v",
-			ot.Best["calculix"], ot.Best["omnetpp"])
+	// Dirty the original's state, then clone: the clone must start fresh
+	// and further decisions on it must not leak back.
+	g.Decide(goodObs(200, 3.75))
+	if g.FaultyDecisions == 0 {
+		t.Fatal("setup: out-of-range reading should register as faulty")
 	}
-	if gl := ot.GlobalLimit(freqs); gl != ot.Best["calculix"] {
-		t.Fatalf("global limit %v should equal the most constrained oracle %v",
-			gl, ot.Best["calculix"])
+	n := CloneController(g).(*GuardedController)
+	if n == g {
+		t.Fatal("stateful guard must clone, not share")
 	}
-	ctrl, err := ot.OracleController("calculix")
-	if err != nil || ctrl.Frequency != ot.Best["calculix"] {
-		t.Fatalf("oracle controller wrong: %+v, %v", ctrl, err)
+	if n.FaultyDecisions != 0 || n.Decisions != 0 || n.Degraded() {
+		t.Fatalf("clone inherited run state: %+v", n)
 	}
-	if _, err := ot.OracleController("nope"); err == nil {
-		t.Fatal("expected unknown-workload error")
-	}
-}
-
-func TestBuildOracleErrors(t *testing.T) {
-	p := fastSim(t)
-	if _, err := BuildOracle(p, nil, []float64{3.75}, 10); err == nil {
-		t.Fatal("expected empty error")
+	before := g.Decisions
+	n.Decide(goodObs(60, 3.75))
+	if g.Decisions != before {
+		t.Fatal("deciding on the clone mutated the original")
 	}
 }

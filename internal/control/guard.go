@@ -225,6 +225,19 @@ func (g *GuardedController) Reset() {
 // fallback.
 func (g *GuardedController) Degraded() bool { return g.degraded }
 
+// Clone implements Cloneable: primary and fallback are cloned when they
+// carry per-run state themselves, the guard's own rings and streaks
+// start fresh.
+func (g *GuardedController) Clone() Controller {
+	n := &GuardedController{
+		Primary:  CloneController(g.Primary),
+		Fallback: CloneController(g.Fallback),
+		Cfg:      g.Cfg,
+	}
+	n.Reset()
+	return n
+}
+
 // anomalous screens one observation. It also maintains the frozen-sensor
 // run length.
 func (g *GuardedController) anomalous(obs Observation) bool {
@@ -267,7 +280,7 @@ func (g *GuardedController) anomalous(obs Observation) bool {
 		// external override or a corrupted frequency report.
 		return true
 	}
-	return countersImplausible(obs.Counters)
+	return countersImplausible(&obs.Counters)
 }
 
 // dispersed is the total-variation noise detector: over the recent raw
@@ -300,17 +313,14 @@ func (g *GuardedController) dispersed() bool {
 // a generous superscalar width. Corruption that rescales individual
 // counters (the realistic PMU failure) usually breaks one of these
 // cross-counter invariants even when every value looks individually
-// plausible.
-func countersImplausible(k arch.Counters) bool {
+// plausible. The all-fields scan goes through arch.Counters.Values (a
+// flat view of the struct) rather than reflection, so the screen is
+// allocation-free on the per-decision path.
+func countersImplausible(k *arch.Counters) bool {
 	if !(k.TotalCycles > 0) {
 		return true
 	}
-	v := reflect.ValueOf(k)
-	for i := 0; i < v.NumField(); i++ {
-		if v.Field(i).Kind() != reflect.Float64 {
-			continue
-		}
-		f := v.Field(i).Float()
+	for _, f := range k.Values() {
 		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
 			return true
 		}

@@ -6,7 +6,6 @@ import (
 
 	"github.com/hotgauge/boreas/internal/arch"
 	"github.com/hotgauge/boreas/internal/power"
-	"github.com/hotgauge/boreas/internal/workload"
 )
 
 // spyController records every observation it decides on and returns a
@@ -203,43 +202,5 @@ func TestGuardWatchdogOverridesHealthyPrimary(t *testing.T) {
 	}
 	if g.DegradedDecisions == 0 {
 		t.Fatal("watchdog cap not counted as a degraded decision")
-	}
-}
-
-func TestGuardLoopRunsCleanlyWhenHealthy(t *testing.T) {
-	// A guarded controller over clean telemetry in the real closed loop
-	// must behave exactly like its primary.
-	table := &CriticalTemps{Global: map[float64]float64{}}
-	for _, f := range power.FrequencySteps() {
-		table.Global[f] = 95
-	}
-	mkTH := func() *ThermalController { return NewThermalController(table, 0) }
-	p := fastSim(t)
-	w, err := workload.ByName("gamess")
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := DefaultLoopConfig()
-	cfg.Steps = 48
-
-	plain, err := RunLoop(p, w, mkTH(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := NewGuardedController(mkTH(), mkTH(), GuardConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	guarded, err := RunLoop(p, w, g, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g.FaultyDecisions != 0 {
-		t.Fatalf("clean telemetry produced %d faulty decisions", g.FaultyDecisions)
-	}
-	for i := range plain.Freqs {
-		if plain.Freqs[i] != guarded.Freqs[i] {
-			t.Fatalf("step %d: guarded %v != plain %v", i, guarded.Freqs[i], plain.Freqs[i])
-		}
 	}
 }

@@ -1,86 +1,20 @@
 package control
 
 import (
-	"context"
 	"fmt"
 	"math"
-
-	"github.com/hotgauge/boreas/internal/runner"
-	"github.com/hotgauge/boreas/internal/sim"
-	"github.com/hotgauge/boreas/internal/trace"
 )
 
 // OracleTable is the §III-B upper bound: for every workload, the most
 // performant frequency whose peak ground-truth severity stays below 1.0
 // over the full trace. It is built from exhaustive static sweeps with
-// perfect knowledge, which no real controller has.
+// perfect knowledge (engine.BuildOracle), which no real controller has.
 type OracleTable struct {
 	// Best[w] is the oracle frequency in GHz.
 	Best map[string]float64
 	// Peak[w][f] is the peak severity of workload w at frequency f
 	// (the data behind Fig 2).
 	Peak map[string]map[float64]float64
-}
-
-// BuildOracle sweeps every workload over every frequency on the calling
-// goroutine.
-func BuildOracle(p *sim.Pipeline, workloads []string, freqs []float64, steps int) (*OracleTable, error) {
-	return BuildOracleContext(context.Background(), p, workloads, freqs, steps, 1)
-}
-
-// BuildOracleContext fans the (workload, frequency) static sweep across
-// workers pipeline clones of p (0 or negative: one worker per CPU). The
-// assembled table is identical at any worker count: every run fully
-// resets its pipeline, and results are keyed by their coordinates.
-func BuildOracleContext(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) (*OracleTable, error) {
-	if len(workloads) == 0 || len(freqs) == 0 {
-		return nil, fmt.Errorf("control: empty workload or frequency list")
-	}
-	peaks, err := sweepPeaks(ctx, p, workloads, freqs, steps, workers)
-	if err != nil {
-		return nil, err
-	}
-	t := &OracleTable{
-		Best: make(map[string]float64, len(workloads)),
-		Peak: make(map[string]map[float64]float64, len(workloads)),
-	}
-	for wi, name := range workloads {
-		t.Peak[name] = make(map[float64]float64, len(freqs))
-		best := math.Inf(-1)
-		for fi, f := range freqs {
-			peak := peaks[wi*len(freqs)+fi]
-			t.Peak[name][f] = peak
-			if peak < 1.0 && f > best {
-				best = f
-			}
-		}
-		if math.IsInf(best, -1) {
-			return nil, fmt.Errorf("control: workload %s has no safe frequency", name)
-		}
-		t.Best[name] = best
-	}
-	return t, nil
-}
-
-// sweepPeaks runs the full (workload, frequency) grid of static runs in
-// parallel and returns the peak ground-truth severities in row-major
-// (workload, frequency) order. Each task runs on its own clone of p and
-// streams through a trace.PeakReducer, so per-task memory is O(1) in the
-// trace length regardless of the worker count.
-func sweepPeaks(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) ([]float64, error) {
-	n := len(workloads) * len(freqs)
-	return runner.Map(ctx, workers, n, func(ctx context.Context, i int) (float64, error) {
-		name, f := workloads[i/len(freqs)], freqs[i%len(freqs)]
-		pc, err := p.Clone()
-		if err != nil {
-			return 0, err
-		}
-		var pr trace.PeakReducer
-		if err := trace.RunStatic(pc, name, f, steps, &pr); err != nil {
-			return 0, err
-		}
-		return pr.PeakSeverity, nil
-	})
 }
 
 // GlobalLimit returns the highest frequency safe for every workload in

@@ -1,104 +1,23 @@
 package control
 
 import (
-	"context"
 	"fmt"
 	"math"
 
 	"github.com/hotgauge/boreas/internal/power"
-	"github.com/hotgauge/boreas/internal/runner"
-	"github.com/hotgauge/boreas/internal/sim"
-	"github.com/hotgauge/boreas/internal/trace"
 )
-
-// critTempObserver streams one calibration run down to the lowest
-// delayed-sensor reading observed while the chip's ground-truth severity
-// was at or above 1.0 — the raw material of the critical-temperature
-// table — in O(1) memory. +Inf means the run never misbehaved.
-type critTempObserver struct {
-	sensor int
-	crit   float64
-}
-
-func (o *critTempObserver) Begin(trace.Meta) { o.crit = math.Inf(1) }
-
-func (o *critTempObserver) Observe(step int, r *sim.StepResult) {
-	if r.Severity.Max >= 1.0 {
-		if t := r.SensorDelayed[o.sensor]; t < o.crit {
-			o.crit = t
-		}
-	}
-}
-
-func (o *critTempObserver) End() error { return nil }
 
 // CriticalTemps is the thermal-threshold table of §III-D: for each
 // operating frequency, the lowest sensor temperature at which the chip's
 // ground-truth Hotspot-Severity was observed to reach 1.0. A frequency
-// with no observed incursion has threshold +Inf (always safe).
+// with no observed incursion has threshold +Inf (always safe). Tables
+// are built from calibration sweeps by engine.BuildCriticalTemps.
 type CriticalTemps struct {
 	// PerWorkload[w][f] is the application-specific critical temperature.
 	PerWorkload map[string]map[float64]float64
 	// Global[f] is the min over workloads: the deployable table, since a
 	// real controller does not know which workload is running.
 	Global map[float64]float64
-}
-
-// BuildCriticalTemps runs fixed-frequency sweeps of the given workloads
-// and extracts critical temperatures from what the delayed sensor
-// reports, exactly as a calibration lab would: the threshold accounts for
-// sensor placement *and* delay, which is why fast-spiking workloads
-// produce brutally low thresholds at high frequency.
-func BuildCriticalTemps(p *sim.Pipeline, workloads []string, freqs []float64, steps, sensorIndex int) (*CriticalTemps, error) {
-	return BuildCriticalTempsContext(context.Background(), p, workloads, freqs, steps, sensorIndex, 1)
-}
-
-// BuildCriticalTempsContext fans the calibration sweep across workers
-// pipeline clones of p (0 or negative: one worker per CPU). The table is
-// identical at any worker count.
-func BuildCriticalTempsContext(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, sensorIndex, workers int) (*CriticalTemps, error) {
-	if len(workloads) == 0 || len(freqs) == 0 {
-		return nil, fmt.Errorf("control: empty workload or frequency list")
-	}
-	if sensorIndex < 0 || sensorIndex >= p.NumSensors() {
-		return nil, fmt.Errorf("control: sensor index %d out of range", sensorIndex)
-	}
-	// Stream each (workload, frequency) run through a critTempObserver:
-	// only the scalar critical temperature survives per task, not the
-	// full trace.
-	crits, err := runner.Map(ctx, workers, len(workloads)*len(freqs), func(ctx context.Context, i int) (float64, error) {
-		name, f := workloads[i/len(freqs)], freqs[i%len(freqs)]
-		pc, err := p.Clone()
-		if err != nil {
-			return 0, err
-		}
-		obs := &critTempObserver{sensor: sensorIndex}
-		if err := trace.RunStatic(pc, name, f, steps, obs); err != nil {
-			return 0, err
-		}
-		return obs.crit, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	ct := &CriticalTemps{
-		PerWorkload: make(map[string]map[float64]float64, len(workloads)),
-		Global:      make(map[float64]float64, len(freqs)),
-	}
-	for _, f := range freqs {
-		ct.Global[f] = math.Inf(1)
-	}
-	for wi, name := range workloads {
-		ct.PerWorkload[name] = make(map[float64]float64, len(freqs))
-		for fi, f := range freqs {
-			crit := crits[wi*len(freqs)+fi]
-			ct.PerWorkload[name][f] = crit
-			if crit < ct.Global[f] {
-				ct.Global[f] = crit
-			}
-		}
-	}
-	return ct, nil
 }
 
 // GlobalAt returns the global critical temperature for frequency f
@@ -124,8 +43,8 @@ type ThermalController struct {
 	Headroom float64
 	// Margin is the guardband (C) subtracted from every threshold. TH-00
 	// is defined by the paper as "trained on a threshold that is safe for
-	// all workloads in the training set"; CalibrateThermalMargin finds the
-	// smallest margin with that property.
+	// all workloads in the training set"; engine.CalibrateThermalMargin
+	// finds the smallest margin with that property.
 	Margin float64
 	// VF is the operating curve the controller steps along. The zero value
 	// selects the default Table I curve.
@@ -172,57 +91,4 @@ func (c *ThermalController) Decide(obs Observation) float64 {
 		return next
 	}
 	return cur
-}
-
-// CalibrateThermalMargin finds the smallest integer margin (degrees C,
-// up to maxMargin) at which a zero-relaxation thermal controller runs
-// every calibration workload with no hotspot incursions, and returns the
-// calibrated TH-00 controller. This is the paper's construction of TH-00:
-// a threshold safe for all workloads in the training set.
-func CalibrateThermalMargin(p *sim.Pipeline, table *CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64) (*ThermalController, error) {
-	return CalibrateThermalMarginContext(context.Background(), p, table, workloads, cfg, maxMargin, 1)
-}
-
-// CalibrateThermalMarginContext runs each margin candidate's calibration
-// loops across workers pipeline clones (0 or negative: one worker per
-// CPU). The chosen margin is identical at any worker count: the decision
-// per margin is "any incursion anywhere", which is order-independent.
-func CalibrateThermalMarginContext(ctx context.Context, p *sim.Pipeline, table *CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64, workers int) (*ThermalController, error) {
-	if len(workloads) == 0 {
-		return nil, fmt.Errorf("control: no calibration workloads")
-	}
-	for margin := 0.0; margin <= maxMargin; margin++ {
-		ctrl := NewThermalController(table, 0)
-		ctrl.Margin = margin
-		ctrl.VF = p.VF()
-		incursions, err := runner.Map(ctx, workers, len(workloads), func(ctx context.Context, i int) (int, error) {
-			w, err := p.Workloads().ByName(workloads[i])
-			if err != nil {
-				return 0, err
-			}
-			pc, err := p.Clone()
-			if err != nil {
-				return 0, err
-			}
-			res, err := RunLoop(pc, w, ctrl, cfg)
-			if err != nil {
-				return 0, err
-			}
-			return res.Incursions, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		safe := true
-		for _, inc := range incursions {
-			if inc > 0 {
-				safe = false
-				break
-			}
-		}
-		if safe {
-			return ctrl, nil
-		}
-	}
-	return nil, fmt.Errorf("control: no safe thermal margin up to %g C", maxMargin)
 }

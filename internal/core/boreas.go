@@ -27,6 +27,11 @@ import (
 // for evaluating a hypothetical higher frequency.
 type Predictor struct {
 	model *gbt.Model
+	// compiled is the flat-tree form of model, the allocation-free hot
+	// path for every prediction (bit-identical to the pointer walk). Nil
+	// only when compilation failed, in which case the pointer walk is
+	// used.
+	compiled *gbt.Compiled
 	// cols[i] is the index into the full 78-feature vector for model
 	// feature i.
 	cols []int
@@ -40,6 +45,13 @@ type Predictor struct {
 	// VF is the operating curve what-if voltages are looked up on. The
 	// zero value selects the default Table I curve.
 	VF power.VFCurve
+
+	// Per-instance scratch reused across predictions so the decide path
+	// is allocation-free. A Predictor is therefore NOT safe for
+	// concurrent use; run concurrent chips on Clone()s (the trained
+	// model and its compiled form are immutable and shared).
+	full []float64
+	row  []float64
 }
 
 // vf resolves the predictor's operating curve.
@@ -71,7 +83,22 @@ func NewPredictor(model *gbt.Model) (*Predictor, error) {
 			p.voltCol = i
 		}
 	}
+	// Compile failure (a malformed hand-built ensemble) is not fatal:
+	// predictions fall back to the pointer walk, which accepts anything
+	// Predict accepts.
+	if c, err := model.Compile(); err == nil {
+		p.compiled = c
+	}
 	return p, nil
+}
+
+// Clone returns an independent predictor sharing the trained model and
+// its compiled form (immutable at predict time) with fresh private
+// scratch, safe to use concurrently with p.
+func (p *Predictor) Clone() *Predictor {
+	n := *p
+	n.full, n.row = nil, nil
+	return &n
 }
 
 // isCountFeature reports whether a feature is a per-interval event count,
@@ -94,20 +121,45 @@ func isCountFeature(name string) bool {
 // Model returns the underlying GBT ensemble.
 func (p *Predictor) Model() *gbt.Model { return p.model }
 
-// features builds the model's input row from raw telemetry.
+// Compiled returns the flat-tree form of the model serving as the hot
+// path (nil if compilation failed and the pointer walk is in use).
+func (p *Predictor) Compiled() *gbt.Compiled { return p.compiled }
+
+// features builds the model's input row from raw telemetry into the
+// predictor's scratch buffers.
 func (p *Predictor) features(k arch.Counters, sensorTemp float64) []float64 {
-	full := telemetry.Extract(k, sensorTemp)
-	row := make([]float64, len(p.cols))
-	for i, c := range p.cols {
-		row[i] = full[c]
+	p.full = telemetry.ExtractInto(p.full, k, sensorTemp)
+	if cap(p.row) < len(p.cols) {
+		p.row = make([]float64, len(p.cols))
 	}
-	return row
+	p.row = p.row[:len(p.cols)]
+	for i, c := range p.cols {
+		p.row[i] = p.full[c]
+	}
+	return p.row
+}
+
+// predictRow scores one feature row on the compiled hot path (pointer
+// walk when compilation failed).
+func (p *Predictor) predictRow(row []float64) float64 {
+	if p.compiled != nil {
+		return p.compiled.Predict(row)
+	}
+	return p.model.Predict(row)
+}
+
+// predictRowChecked is predictRow with the non-finite input screen.
+func (p *Predictor) predictRowChecked(row []float64) (float64, error) {
+	if p.compiled != nil {
+		return p.compiled.PredictChecked(row)
+	}
+	return p.model.PredictChecked(row)
 }
 
 // Predict returns the predicted max severity over the next interval if
 // the system keeps running at its current frequency.
 func (p *Predictor) Predict(k arch.Counters, sensorTemp float64) float64 {
-	return p.model.Predict(p.features(k, sensorTemp))
+	return p.predictRow(p.features(k, sensorTemp))
 }
 
 // PredictChecked is Predict with the model's non-finite input screen: a
@@ -116,7 +168,7 @@ func (p *Predictor) Predict(k arch.Counters, sensorTemp float64) float64 {
 // This is the entry point controllers use to fail safe on faulty
 // telemetry, consistent with the control.GuardedController screens.
 func (p *Predictor) PredictChecked(k arch.Counters, sensorTemp float64) (float64, error) {
-	return p.model.PredictChecked(p.features(k, sensorTemp))
+	return p.predictRowChecked(p.features(k, sensorTemp))
 }
 
 // PredictAt returns the what-if prediction for running the next interval
@@ -125,13 +177,13 @@ func (p *Predictor) PredictChecked(k arch.Counters, sensorTemp float64) (float64
 // same phase at a different clock), rates and the sensor reading are
 // carried over, and the operating-point features are rewritten.
 func (p *Predictor) PredictAt(k arch.Counters, sensorTemp, newFreq float64) float64 {
-	return p.model.Predict(p.whatIfRow(k, sensorTemp, newFreq))
+	return p.predictRow(p.whatIfRow(k, sensorTemp, newFreq))
 }
 
 // PredictAtChecked is PredictAt with the non-finite input screen of
 // PredictChecked.
 func (p *Predictor) PredictAtChecked(k arch.Counters, sensorTemp, newFreq float64) (float64, error) {
-	return p.model.PredictChecked(p.whatIfRow(k, sensorTemp, newFreq))
+	return p.predictRowChecked(p.whatIfRow(k, sensorTemp, newFreq))
 }
 
 // whatIfRow builds the what-if feature row for running the next interval
@@ -191,6 +243,14 @@ func (c *Controller) Name() string { return fmt.Sprintf("ML%02.0f", c.Guardband*
 
 // Reset implements control.Controller.
 func (c *Controller) Reset() {}
+
+// Clone implements control.Cloneable: the trained model is shared, the
+// predictor's scratch buffers are private to the new instance.
+func (c *Controller) Clone() control.Controller {
+	n := *c
+	n.Pred = c.Pred.Clone()
+	return &n
+}
 
 // Decide implements control.Controller. Non-finite telemetry fails safe
 // with a one-step throttle: a NaN routes through every tree comparison

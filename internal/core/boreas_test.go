@@ -6,6 +6,7 @@ import (
 
 	"github.com/hotgauge/boreas/internal/arch"
 	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
 	"github.com/hotgauge/boreas/internal/rng"
 	"github.com/hotgauge/boreas/internal/sim"
@@ -349,10 +350,10 @@ func TestEndToEndTinyPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, _ := workload.ByName("hmmer") // unseen by this model
-	cfg := control.DefaultLoopConfig()
+	w, _ := workload.DefaultSet().ByName("hmmer") // unseen by this model
+	cfg := engine.DefaultLoopConfig()
 	cfg.Steps = 96
-	res, err := control.RunLoop(p, w, ctrl, cfg)
+	res, err := engine.RunLoop(p, w, ctrl, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

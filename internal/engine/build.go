@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/runner"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
+)
+
+// critTempObserver streams one calibration run down to the lowest
+// delayed-sensor reading observed while the chip's ground-truth severity
+// was at or above 1.0 — the raw material of the critical-temperature
+// table — in O(1) memory. +Inf means the run never misbehaved.
+type critTempObserver struct {
+	sensor int
+	crit   float64
+}
+
+func (o *critTempObserver) Begin(trace.Meta) { o.crit = math.Inf(1) }
+
+func (o *critTempObserver) Observe(step int, r *sim.StepResult) {
+	if r.Severity.Max >= 1.0 {
+		if t := r.SensorDelayed[o.sensor]; t < o.crit {
+			o.crit = t
+		}
+	}
+}
+
+func (o *critTempObserver) End() error { return nil }
+
+// BuildCriticalTemps runs fixed-frequency sweeps of the given workloads
+// and extracts critical temperatures from what the delayed sensor
+// reports, exactly as a calibration lab would: the threshold accounts for
+// sensor placement *and* delay, which is why fast-spiking workloads
+// produce brutally low thresholds at high frequency.
+func BuildCriticalTemps(p *sim.Pipeline, workloads []string, freqs []float64, steps, sensorIndex int) (*control.CriticalTemps, error) {
+	return BuildCriticalTempsContext(context.Background(), p, workloads, freqs, steps, sensorIndex, 1)
+}
+
+// BuildCriticalTempsContext fans the calibration sweep across workers
+// pipeline clones of p (0 or negative: one worker per CPU). The table is
+// identical at any worker count.
+func BuildCriticalTempsContext(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, sensorIndex, workers int) (*control.CriticalTemps, error) {
+	if len(workloads) == 0 || len(freqs) == 0 {
+		return nil, fmt.Errorf("engine: empty workload or frequency list")
+	}
+	if sensorIndex < 0 || sensorIndex >= p.NumSensors() {
+		return nil, fmt.Errorf("engine: sensor index %d out of range", sensorIndex)
+	}
+	// Stream each (workload, frequency) run through a critTempObserver:
+	// only the scalar critical temperature survives per task, not the
+	// full trace.
+	crits, err := runner.Map(ctx, workers, len(workloads)*len(freqs), func(ctx context.Context, i int) (float64, error) {
+		name, f := workloads[i/len(freqs)], freqs[i%len(freqs)]
+		pc, err := p.Clone()
+		if err != nil {
+			return 0, err
+		}
+		obs := &critTempObserver{sensor: sensorIndex}
+		if err := trace.RunStatic(pc, name, f, steps, obs); err != nil {
+			return 0, err
+		}
+		return obs.crit, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ct := &control.CriticalTemps{
+		PerWorkload: make(map[string]map[float64]float64, len(workloads)),
+		Global:      make(map[float64]float64, len(freqs)),
+	}
+	for _, f := range freqs {
+		ct.Global[f] = math.Inf(1)
+	}
+	for wi, name := range workloads {
+		ct.PerWorkload[name] = make(map[float64]float64, len(freqs))
+		for fi, f := range freqs {
+			crit := crits[wi*len(freqs)+fi]
+			ct.PerWorkload[name][f] = crit
+			if crit < ct.Global[f] {
+				ct.Global[f] = crit
+			}
+		}
+	}
+	return ct, nil
+}
+
+// CalibrateThermalMargin finds the smallest integer margin (degrees C,
+// up to maxMargin) at which a zero-relaxation thermal controller runs
+// every calibration workload with no hotspot incursions, and returns the
+// calibrated TH-00 controller. This is the paper's construction of TH-00:
+// a threshold safe for all workloads in the training set.
+func CalibrateThermalMargin(p *sim.Pipeline, table *control.CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64) (*control.ThermalController, error) {
+	return CalibrateThermalMarginContext(context.Background(), p, table, workloads, cfg, maxMargin, 1)
+}
+
+// CalibrateThermalMarginContext runs each margin candidate's calibration
+// loops across workers pipeline clones (0 or negative: one worker per
+// CPU). The chosen margin is identical at any worker count: the decision
+// per margin is "any incursion anywhere", which is order-independent.
+func CalibrateThermalMarginContext(ctx context.Context, p *sim.Pipeline, table *control.CriticalTemps, workloads []string, cfg LoopConfig, maxMargin float64, workers int) (*control.ThermalController, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("engine: no calibration workloads")
+	}
+	for margin := 0.0; margin <= maxMargin; margin++ {
+		ctrl := control.NewThermalController(table, 0)
+		ctrl.Margin = margin
+		ctrl.VF = p.VF()
+		incursions, err := runner.Map(ctx, workers, len(workloads), func(ctx context.Context, i int) (int, error) {
+			w, err := p.Workloads().ByName(workloads[i])
+			if err != nil {
+				return 0, err
+			}
+			pc, err := p.Clone()
+			if err != nil {
+				return 0, err
+			}
+			res, err := RunLoop(pc, w, ctrl, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.Incursions, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		safe := true
+		for _, inc := range incursions {
+			if inc > 0 {
+				safe = false
+				break
+			}
+		}
+		if safe {
+			return ctrl, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: no safe thermal margin up to %g C", maxMargin)
+}
+
+// BuildOracle sweeps every workload over every frequency on the calling
+// goroutine.
+func BuildOracle(p *sim.Pipeline, workloads []string, freqs []float64, steps int) (*control.OracleTable, error) {
+	return BuildOracleContext(context.Background(), p, workloads, freqs, steps, 1)
+}
+
+// BuildOracleContext fans the (workload, frequency) static sweep across
+// workers pipeline clones of p (0 or negative: one worker per CPU). The
+// assembled table is identical at any worker count: every run fully
+// resets its pipeline, and results are keyed by their coordinates.
+func BuildOracleContext(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) (*control.OracleTable, error) {
+	if len(workloads) == 0 || len(freqs) == 0 {
+		return nil, fmt.Errorf("engine: empty workload or frequency list")
+	}
+	peaks, err := sweepPeaks(ctx, p, workloads, freqs, steps, workers)
+	if err != nil {
+		return nil, err
+	}
+	t := &control.OracleTable{
+		Best: make(map[string]float64, len(workloads)),
+		Peak: make(map[string]map[float64]float64, len(workloads)),
+	}
+	for wi, name := range workloads {
+		t.Peak[name] = make(map[float64]float64, len(freqs))
+		best := math.Inf(-1)
+		for fi, f := range freqs {
+			peak := peaks[wi*len(freqs)+fi]
+			t.Peak[name][f] = peak
+			if peak < 1.0 && f > best {
+				best = f
+			}
+		}
+		if math.IsInf(best, -1) {
+			return nil, fmt.Errorf("engine: workload %s has no safe frequency", name)
+		}
+		t.Best[name] = best
+	}
+	return t, nil
+}
+
+// sweepPeaks runs the full (workload, frequency) grid of static runs in
+// parallel and returns the peak ground-truth severities in row-major
+// (workload, frequency) order. Each task runs on its own clone of p and
+// streams through a trace.PeakReducer, so per-task memory is O(1) in the
+// trace length regardless of the worker count.
+func sweepPeaks(ctx context.Context, p *sim.Pipeline, workloads []string, freqs []float64, steps, workers int) ([]float64, error) {
+	n := len(workloads) * len(freqs)
+	return runner.Map(ctx, workers, n, func(ctx context.Context, i int) (float64, error) {
+		name, f := workloads[i/len(freqs)], freqs[i%len(freqs)]
+		pc, err := p.Clone()
+		if err != nil {
+			return 0, err
+		}
+		var pr trace.PeakReducer
+		if err := trace.RunStatic(pc, name, f, steps, &pr); err != nil {
+			return 0, err
+		}
+		return pr.PeakSeverity, nil
+	})
+}

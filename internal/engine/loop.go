@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/power"
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/trace"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// LoopConfig parametrises a closed-loop run.
+type LoopConfig struct {
+	// Steps is the total trace length in 80 us timesteps (150 = 12 ms).
+	Steps int
+	// DecisionPeriod is the controller interval in timesteps (12 = 960 us).
+	DecisionPeriod int
+	// StartFreq is the initial frequency (the 3.75 GHz safe baseline).
+	StartFreq float64
+	// SensorIndex selects the sensor feeding the controller.
+	SensorIndex int
+	// SensorTap, when non-nil, is installed on the pipeline for the
+	// measured run (after warm-start) and corrupts the delayed sensor
+	// readings the controller and the recorded trace see. Ground-truth
+	// severity is untouched. Taps are stateful: use a fresh tap (or one
+	// that fully resets) per run.
+	SensorTap sim.SensorTap
+	// CounterTap, when non-nil, corrupts the counter vector the
+	// controller observes at each decision point. The recorded trace
+	// keeps the clean counters; only the controller is lied to.
+	CounterTap control.CounterTap
+	// VF is the operating curve StartFreq is validated against and
+	// controller decisions are clamped with. The zero value means "the
+	// pipeline's curve": RunLoop fills it from the pipeline, so only
+	// standalone Validate calls fall back to the default Table I curve.
+	VF power.VFCurve
+}
+
+// DefaultLoopConfig matches the paper's dynamic runs: 150 steps, decisions
+// every 12 steps, starting at the 3.75 GHz global limit, sensor tsens03.
+func DefaultLoopConfig() LoopConfig {
+	return LoopConfig{
+		Steps:          150,
+		DecisionPeriod: 12,
+		StartFreq:      3.75,
+		SensorIndex:    sim.DefaultSensorIndex,
+	}
+}
+
+// Validate reports configuration errors.
+func (c LoopConfig) Validate() error {
+	if c.Steps <= 0 || c.DecisionPeriod <= 0 || c.DecisionPeriod > c.Steps {
+		return fmt.Errorf("engine: need 0 < period <= steps, got %d/%d", c.DecisionPeriod, c.Steps)
+	}
+	vf := c.VF
+	if vf.IsZero() {
+		vf = power.DefaultVF()
+	}
+	if _, err := vf.FrequencyIndex(c.StartFreq); err != nil {
+		return fmt.Errorf("engine: StartFreq: %w", err)
+	}
+	if c.SensorIndex < 0 {
+		return fmt.Errorf("engine: negative sensor index")
+	}
+	return nil
+}
+
+// LoopResult scores one closed-loop run.
+type LoopResult struct {
+	Workload   string
+	Controller string
+	// Freqs holds the frequency in effect at every timestep.
+	Freqs []float64
+	// Severity holds the ground-truth max severity at every timestep.
+	Severity []float64
+	// SensorTemp holds the delayed sensor reading at every timestep.
+	SensorTemp []float64
+	// AvgFreq is the time-average frequency in GHz.
+	AvgFreq float64
+	// PeakSeverity is the maximum ground-truth severity over the run.
+	PeakSeverity float64
+	// PeakMLTD is the maximum ground-truth local temperature gradient
+	// (C) over the run.
+	PeakMLTD float64
+	// Incursions counts timesteps with severity >= 1.0 (hotspot events).
+	Incursions int
+}
+
+// loopObserver closes the control loop over the streaming drive: it
+// scores every timestep into the LoopResult and, at decision boundaries,
+// feeds the step's telemetry to the session — whose commanded frequency
+// the drive's freqFn reads before executing the next step. Everything it
+// retains from the scratch StepResult is copied by value (scalars and
+// the Counters struct), per the trace.Observer contract.
+type loopObserver struct {
+	cfg  LoopConfig
+	sess *Session
+	res  *LoopResult
+}
+
+func (o *loopObserver) Begin(trace.Meta) {}
+
+func (o *loopObserver) Observe(step int, r *sim.StepResult) {
+	res := o.res
+	res.Freqs = append(res.Freqs, o.sess.Freq())
+	res.Severity = append(res.Severity, r.Severity.Max)
+	res.SensorTemp = append(res.SensorTemp, r.SensorDelayed[o.cfg.SensorIndex])
+	res.PeakMLTD = math.Max(res.PeakMLTD, r.Severity.MaxMLTD)
+	if r.Severity.Max >= 1.0 {
+		res.Incursions++
+	}
+	if (step+1)%o.cfg.DecisionPeriod == 0 && step+1 < o.cfg.Steps {
+		obs := Observation{
+			Counters:   r.Counters,
+			SensorTemp: r.SensorDelayed[o.cfg.SensorIndex],
+		}
+		if o.cfg.CounterTap != nil {
+			o.cfg.CounterTap.Apply(step, &obs.Counters)
+		}
+		o.sess.Decide(obs)
+	}
+}
+
+func (o *loopObserver) End() error { return nil }
+
+// RunLoop executes a closed-loop run of the controller on the workload.
+// The pipeline is warm-started at the starting frequency; a Session
+// wraps the controller and owns the operating point between decisions.
+// The run streams through trace.Drive — no intermediate []sim.StepResult
+// is materialized.
+func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl control.Controller, cfg LoopConfig) (*LoopResult, error) {
+	if cfg.VF.IsZero() {
+		cfg.VF = p.VF()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SensorIndex >= p.NumSensors() {
+		return nil, fmt.Errorf("engine: sensor index %d out of range", cfg.SensorIndex)
+	}
+	if err := p.WarmStart(w, cfg.StartFreq); err != nil {
+		return nil, err
+	}
+	sess, err := NewSession(SessionConfig{Controller: ctrl, VF: cfg.VF, StartFreq: cfg.StartFreq})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SensorTap != nil {
+		// Installed after WarmStart so the fault window is measured in
+		// run steps; removed before returning so the caller's pipeline is
+		// clean for the next run.
+		p.SetSensorTap(cfg.SensorTap)
+		defer p.SetSensorTap(nil)
+	}
+	if cfg.CounterTap != nil {
+		cfg.CounterTap.Reset()
+	}
+	run := w.NewRun(p.Config().Seed)
+
+	res := &LoopResult{
+		Workload:   w.Name,
+		Controller: ctrl.Name(),
+		Freqs:      make([]float64, 0, cfg.Steps),
+		Severity:   make([]float64, 0, cfg.Steps),
+		SensorTemp: make([]float64, 0, cfg.Steps),
+	}
+	lo := &loopObserver{cfg: cfg, sess: sess, res: res}
+	if err := trace.Drive(p, run, func(int) float64 { return sess.Freq() }, cfg.Steps, lo); err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, f := range res.Freqs {
+		sum += f
+	}
+	res.AvgFreq = sum / float64(len(res.Freqs))
+	for _, s := range res.Severity {
+		res.PeakSeverity = math.Max(res.PeakSeverity, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/sim"
+)
+
+// fastSim returns a reduced pipeline for quick closed-loop tests.
+func fastSim(t *testing.T) *sim.Pipeline {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Thermal.NX, cfg.Thermal.NY = 24, 18
+	cfg.Core.SampleAccesses = 512
+	cfg.Core.SampleBranches = 256
+	cfg.WarmStartProbeSteps = 5
+	p, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoopConfigValidate(t *testing.T) {
+	bad := DefaultLoopConfig()
+	bad.Steps = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected steps error")
+	}
+	bad = DefaultLoopConfig()
+	bad.DecisionPeriod = 200
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected period error")
+	}
+	bad = DefaultLoopConfig()
+	bad.StartFreq = 3.8
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected frequency error")
+	}
+	bad = DefaultLoopConfig()
+	bad.SensorIndex = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected sensor error")
+	}
+}
+
+func TestFixedControllerHoldsFrequency(t *testing.T) {
+	p := fastSim(t)
+	w, _ := p.Workloads().ByName("gamess")
+	ctrl := &control.FixedController{ControllerName: "Global", Frequency: 3.75}
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 48
+	res, err := RunLoop(p, w, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Freqs) != 48 {
+		t.Fatalf("trace length %d", len(res.Freqs))
+	}
+	for _, f := range res.Freqs {
+		if f != 3.75 {
+			t.Fatalf("fixed controller drifted to %v", f)
+		}
+	}
+	if math.Abs(res.AvgFreq-3.75) > 1e-12 {
+		t.Fatalf("avg freq %v", res.AvgFreq)
+	}
+	if res.Controller != "Global" || res.Workload != "gamess" {
+		t.Fatal("result metadata wrong")
+	}
+}
+
+func TestRunLoopCountsIncursions(t *testing.T) {
+	// Pin a hot workload above its ceiling: incursions must be detected.
+	p := fastSim(t)
+	w, _ := p.Workloads().ByName("calculix")
+	ctrl := &control.FixedController{ControllerName: "hot", Frequency: 5.0}
+	cfg := DefaultLoopConfig()
+	cfg.StartFreq = 5.0
+	cfg.Steps = 60
+	res, err := RunLoop(p, w, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incursions == 0 {
+		t.Fatal("calculix pinned at 5 GHz must incur hotspots")
+	}
+	if res.PeakSeverity < 1.0 {
+		t.Fatalf("peak severity %v with incursions", res.PeakSeverity)
+	}
+}
+
+// rogueController returns illegal frequencies to verify the loop clamps.
+type rogueController struct{}
+
+func (rogueController) Name() string                       { return "rogue" }
+func (rogueController) Reset()                             {}
+func (rogueController) Decide(control.Observation) float64 { return 99.0 }
+
+func TestRunLoopClampsRogueFrequencies(t *testing.T) {
+	p := fastSim(t)
+	w, _ := p.Workloads().ByName("mcf")
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 36
+	res, err := RunLoop(p, w, rogueController{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Freqs {
+		if f > 5.0 || f < 2.0 {
+			t.Fatalf("loop ran at illegal frequency %v", f)
+		}
+	}
+}
+
+// downController always steps down, to verify the lower clamp.
+type downController struct{}
+
+func (downController) Name() string                       { return "down" }
+func (downController) Reset()                             {}
+func (downController) Decide(control.Observation) float64 { return -1 }
+
+func TestRunLoopClampsLowerBound(t *testing.T) {
+	p := fastSim(t)
+	w, _ := p.Workloads().ByName("mcf")
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 36
+	res, err := RunLoop(p, w, downController{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Freqs[len(res.Freqs)-1]
+	if last != 2.0 {
+		t.Fatalf("loop should bottom out at 2.0 GHz, got %v", last)
+	}
+}
+
+func TestRunLoopSensorIndexOutOfRange(t *testing.T) {
+	p := fastSim(t)
+	w, _ := p.Workloads().ByName("mcf")
+	cfg := DefaultLoopConfig()
+	cfg.SensorIndex = 99
+	if _, err := RunLoop(p, w, rogueController{}, cfg); err == nil {
+		t.Fatal("expected sensor-index error")
+	}
+}
+
+func TestLoopResultSeverityTrace(t *testing.T) {
+	p := fastSim(t)
+	w, _ := p.Workloads().ByName("calculix")
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 48
+	res, err := RunLoop(p, w, &control.FixedController{ControllerName: "x", Frequency: 4.0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Severity) != 48 || len(res.SensorTemp) != 48 {
+		t.Fatal("trace arrays truncated")
+	}
+	// Peak severity must equal the max of the trace.
+	peak := 0.0
+	for _, s := range res.Severity {
+		if s > peak {
+			peak = s
+		}
+	}
+	if res.PeakSeverity != peak {
+		t.Fatalf("PeakSeverity %v != trace max %v", res.PeakSeverity, peak)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
 )
 
@@ -227,18 +228,18 @@ func decodeModel(data []byte) (*gbt.Model, error) { return gbt.LoadModel(data) }
 
 // loopCell replays one closed-loop grid cell. LoopResult contains only
 // finite float64s, so plain JSON is an exact codec.
-func (l *Lab) loopCell(workload string, ctrlName string, build func() (*control.LoopResult, error)) (*control.LoopResult, error) {
+func (l *Lab) loopCell(workload string, ctrlName string, build func() (*engine.LoopResult, error)) (*engine.LoopResult, error) {
 	return labCell(l, "loop-result", []string{"loop", workload, ctrlName},
-		jsonEnc[*control.LoopResult], jsonDec[*control.LoopResult], build)
+		jsonEnc[*engine.LoopResult], jsonDec[*engine.LoopResult], build)
 }
 
 // faultRunCell is the persisted form of one fault-grid run: the loop
 // result plus the guard telemetry of the controller instance that
 // produced it.
 type faultRunCell struct {
-	Res      *control.LoopResult `json:"res"`
-	Faulty   int                 `json:"faulty"`
-	Degraded int                 `json:"degraded"`
+	Res      *engine.LoopResult `json:"res"`
+	Faulty   int                `json:"faulty"`
+	Degraded int                `json:"degraded"`
 }
 
 // faultGridTag fingerprints the fault-grid configuration for cell

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/runner"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/trace"
@@ -13,9 +14,11 @@ import (
 
 // runNamed executes one closed loop on a named workload. Each call runs
 // on its own clone of the lab pipeline, so calls are safe to issue
-// concurrently (all controllers in this repo are read-only at decide
-// time).
-func (l *Lab) runNamed(name string, ctrl control.Controller) (*control.LoopResult, error) {
+// concurrently as long as the controller instance itself is not shared:
+// stateful controllers carry private decide-time scratch, so concurrent
+// fan-outs must hand each task its own control.CloneController copy (as
+// runGrid does).
+func (l *Lab) runNamed(name string, ctrl control.Controller) (*engine.LoopResult, error) {
 	w, err := l.pipeline.Workloads().ByName(name)
 	if err != nil {
 		return nil, err
@@ -24,17 +27,20 @@ func (l *Lab) runNamed(name string, ctrl control.Controller) (*control.LoopResul
 	if err != nil {
 		return nil, err
 	}
-	return control.RunLoop(p, w, ctrl, l.loopConfig())
+	return engine.RunLoop(p, w, ctrl, l.loopConfig())
 }
 
 // runGrid evaluates every (workload, controller) cell of a closed-loop
 // comparison across the lab's worker pool and returns the results in
 // row-major (workload, controller) order. With a checkpoint store each
 // cell persists as it completes and replays on resume.
-func (l *Lab) runGrid(names []string, ctrls []control.Controller) ([]*control.LoopResult, error) {
-	return runner.Map(l.ctx, l.cfg.Workers, len(names)*len(ctrls), func(_ context.Context, i int) (*control.LoopResult, error) {
-		name, ctrl := names[i/len(ctrls)], ctrls[i%len(ctrls)]
-		return l.loopCell(name, ctrl.Name(), func() (*control.LoopResult, error) {
+func (l *Lab) runGrid(names []string, ctrls []control.Controller) ([]*engine.LoopResult, error) {
+	return runner.Map(l.ctx, l.cfg.Workers, len(names)*len(ctrls), func(_ context.Context, i int) (*engine.LoopResult, error) {
+		// Grid cells sharing a controller run concurrently, so each task
+		// decides on its own clone (stateful controllers carry private
+		// scratch; trained artefacts stay shared).
+		name, ctrl := names[i/len(ctrls)], control.CloneController(ctrls[i%len(ctrls)])
+		return l.loopCell(name, ctrl.Name(), func() (*engine.LoopResult, error) {
 			return l.runNamed(name, ctrl)
 		})
 	})
@@ -44,7 +50,7 @@ func (l *Lab) runGrid(names []string, ctrls []control.Controller) ([]*control.Lo
 // under TH-00/05/10.
 type Fig4Result struct {
 	// Runs[workload][relax] with relax in {0, 5, 10}.
-	Runs map[string]map[int]*control.LoopResult
+	Runs map[string]map[int]*engine.LoopResult
 }
 
 // Fig4ThermalThresholds reproduces the Fig 4 case study.
@@ -63,9 +69,9 @@ func Fig4ThermalThresholds(l *Lab) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig4Result{Runs: make(map[string]map[int]*control.LoopResult)}
+	res := &Fig4Result{Runs: make(map[string]map[int]*engine.LoopResult)}
 	for wi, name := range names {
-		res.Runs[name] = make(map[int]*control.LoopResult)
+		res.Runs[name] = make(map[int]*engine.LoopResult)
 		for ri, relax := range relaxes {
 			res.Runs[name][relax] = runs[wi*len(ctrls)+ri]
 		}
@@ -174,7 +180,7 @@ func (r *Fig5Result) Render() string {
 // Fig6Result holds bzip2 under the three ML guardbands.
 type Fig6Result struct {
 	// Runs[guardbandPct] for 0, 5, 10.
-	Runs map[int]*control.LoopResult
+	Runs map[int]*engine.LoopResult
 }
 
 // Fig6Guardbands reproduces the guardband case study on bzip2.
@@ -192,7 +198,7 @@ func Fig6Guardbands(l *Lab) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig6Result{Runs: make(map[int]*control.LoopResult)}
+	res := &Fig6Result{Runs: make(map[int]*engine.LoopResult)}
 	for i, g := range guardbands {
 		res.Runs[g] = runs[i]
 	}
@@ -332,7 +338,7 @@ func (r *Fig7Result) Render() string {
 // Fig8Result holds the per-test-workload dynamic traces for TH-00 vs ML05.
 type Fig8Result struct {
 	// Runs[workload][controller].
-	Runs map[string]map[string]*control.LoopResult
+	Runs map[string]map[string]*engine.LoopResult
 }
 
 // Fig8DynamicTraces reproduces the Fig 8 trace grid.
@@ -350,9 +356,9 @@ func Fig8DynamicTraces(l *Lab) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig8Result{Runs: make(map[string]map[string]*control.LoopResult)}
+	res := &Fig8Result{Runs: make(map[string]map[string]*engine.LoopResult)}
 	for wi, name := range l.cfg.TestNames {
-		res.Runs[name] = make(map[string]*control.LoopResult)
+		res.Runs[name] = make(map[string]*engine.LoopResult)
 		for ci, c := range ctrls {
 			res.Runs[name][c.Name()] = runs[wi*len(ctrls)+ci]
 		}
@@ -375,7 +381,7 @@ func (r *Fig8Result) Render() string {
 
 // TraceCSV renders a loop trace as CSV (time_ms, freq_ghz, severity,
 // sensor_temp) for external plotting.
-func TraceCSV(run *control.LoopResult, timestepSec float64) string {
+func TraceCSV(run *engine.LoopResult, timestepSec float64) string {
 	var b strings.Builder
 	b.WriteString("time_ms,freq_ghz,severity,sensor_temp\n")
 	for i := range run.Freqs {

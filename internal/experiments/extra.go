@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/sim"
 )
 
@@ -129,17 +130,17 @@ func DelayStudy(l *Lab, name string, maxMargin float64) (*DelayStudyResult, erro
 		if err != nil {
 			return nil, err
 		}
-		ct, err := control.BuildCriticalTempsContext(l.ctx, p, []string{name}, l.cfg.Frequencies,
+		ct, err := engine.BuildCriticalTempsContext(l.ctx, p, []string{name}, l.cfg.Frequencies,
 			l.cfg.StepsPerRun, l.cfg.SensorIndex, l.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
 		lc := l.loopConfig()
-		th, err := control.CalibrateThermalMarginContext(l.ctx, p, ct, []string{name}, lc, maxMargin, l.cfg.Workers)
+		th, err := engine.CalibrateThermalMarginContext(l.ctx, p, ct, []string{name}, lc, maxMargin, l.cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		run, err := control.RunLoop(p, w, th, lc)
+		run, err := engine.RunLoop(p, w, th, lc)
 		if err != nil {
 			return nil, err
 		}

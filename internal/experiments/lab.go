@@ -19,6 +19,7 @@ import (
 	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/control"
 	"github.com/hotgauge/boreas/internal/core"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
 	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/sim"
@@ -42,7 +43,7 @@ type Config struct {
 	// TrainNames and TestNames are the Table III sets.
 	TrainNames, TestNames []string
 	// StartFreq is the closed-loop starting frequency in GHz. 0 selects
-	// the historical 3.75 GHz global limit (control.DefaultLoopConfig).
+	// the historical 3.75 GHz global limit (engine.DefaultLoopConfig).
 	StartFreq float64
 	// Workers bounds the parallelism of every campaign the lab runs:
 	// dataset builds, the oracle and calibration sweeps, closed-loop
@@ -211,7 +212,7 @@ func (l *Lab) Oracle() (*control.OracleTable, error) {
 		return labCell(l, "oracle-table", []string{"oracle"}, encodeOracle, decodeOracle,
 			func() (*control.OracleTable, error) {
 				all := append(append([]string{}, l.cfg.TrainNames...), l.cfg.TestNames...)
-				return control.BuildOracleContext(l.ctx, l.pipeline, all, l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.Workers)
+				return engine.BuildOracleContext(l.ctx, l.pipeline, all, l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.Workers)
 			})
 	})
 }
@@ -221,7 +222,7 @@ func (l *Lab) CriticalTemps() (*control.CriticalTemps, error) {
 	return l.critTemps.get(func() (*control.CriticalTemps, error) {
 		return labCell(l, "critical-temps", []string{"crittemps"}, encodeCritTemps, decodeCritTemps,
 			func() (*control.CriticalTemps, error) {
-				return control.BuildCriticalTempsContext(l.ctx, l.pipeline, l.cfg.TrainNames,
+				return engine.BuildCriticalTempsContext(l.ctx, l.pipeline, l.cfg.TrainNames,
 					l.cfg.Frequencies, l.cfg.StepsPerRun, l.cfg.SensorIndex, l.cfg.Workers)
 			})
 	})
@@ -240,7 +241,7 @@ func (l *Lab) TH00() (*control.ThermalController, error) {
 		cell, err := labCell(l, "th00-calibration", []string{"th00"}, jsonEnc[th00Cell], jsonDec[th00Cell],
 			func() (th00Cell, error) {
 				lc := l.loopConfig()
-				ctrl, err := control.CalibrateThermalMarginContext(l.ctx, l.pipeline, ct, l.cfg.TrainNames, lc, 30, l.cfg.Workers)
+				ctrl, err := engine.CalibrateThermalMarginContext(l.ctx, l.pipeline, ct, l.cfg.TrainNames, lc, 30, l.cfg.Workers)
 				if err != nil {
 					return th00Cell{}, err
 				}
@@ -270,8 +271,8 @@ func (l *Lab) THRelaxed(relax float64) (*control.ThermalController, error) {
 	return c, nil
 }
 
-func (l *Lab) loopConfig() control.LoopConfig {
-	lc := control.DefaultLoopConfig()
+func (l *Lab) loopConfig() engine.LoopConfig {
+	lc := engine.DefaultLoopConfig()
 	lc.Steps = l.cfg.StepsPerRun
 	lc.SensorIndex = l.cfg.SensorIndex
 	lc.VF = l.pipeline.VF()
@@ -376,13 +377,16 @@ func (l *Lab) FullModel() (*gbt.Model, error) {
 	})
 }
 
-// MLController builds an ML-xx controller from the lab's predictor.
+// MLController builds an ML-xx controller from the lab's predictor. Each
+// call binds its own clone of the memoized predictor (sharing the trained
+// model, not the decide-time scratch), so controllers from separate calls
+// are safe to run concurrently.
 func (l *Lab) MLController(guardband float64) (*core.Controller, error) {
 	pred, err := l.Predictor()
 	if err != nil {
 		return nil, err
 	}
-	ctrl, err := core.NewController(pred, guardband)
+	ctrl, err := core.NewController(pred.Clone(), guardband)
 	if err != nil {
 		return nil, err
 	}

@@ -239,12 +239,21 @@ func (r *Fig9Result) Render() string {
 	return b.String()
 }
 
-// OverheadResult reproduces §V-E: hardware cost of the deployed model.
+// OverheadResult reproduces §V-E: hardware cost of the deployed model,
+// both the logical ensemble (the paper's weight/ops accounting) and the
+// compiled flat-tree form the decision engine actually serves.
 type OverheadResult struct {
 	WeightBytes int
 	Comparisons int
 	Adds        int
 	TotalOps    int
+	// CompiledBytes/CompiledNodes/CompiledSteps describe the deployed
+	// flat-tree tables: total table footprint, node count, and the fixed
+	// per-tree traversal depth every prediction executes. Zero when
+	// compilation fell back to the pointer walk.
+	CompiledBytes int
+	CompiledNodes int
+	CompiledSteps int
 }
 
 // Overhead reports the deployed model's cost.
@@ -254,16 +263,27 @@ func Overhead(l *Lab) (*OverheadResult, error) {
 		return nil, err
 	}
 	cmp, adds := pred.Model().PredictionOps()
-	return &OverheadResult{
+	r := &OverheadResult{
 		WeightBytes: pred.Model().WeightBytes(),
 		Comparisons: cmp,
 		Adds:        adds,
 		TotalOps:    cmp + adds,
-	}, nil
+	}
+	if c := pred.Compiled(); c != nil {
+		r.CompiledBytes = c.SizeBytes()
+		r.CompiledNodes = c.NumNodes()
+		r.CompiledSteps = c.Steps()
+	}
+	return r, nil
 }
 
 // Render formats the overhead report.
 func (r *OverheadResult) Render() string {
-	return fmt.Sprintf("Overhead (paper §V-E): %d B weights (<14 KB), %d comparisons + %d adds = %d ops per prediction\n",
+	s := fmt.Sprintf("Overhead (paper §V-E): %d B weights (<14 KB), %d comparisons + %d adds = %d ops per prediction\n",
 		r.WeightBytes, r.Comparisons, r.Adds, r.TotalOps)
+	if r.CompiledBytes > 0 {
+		s += fmt.Sprintf("  compiled flat-tree form: %d B tables, %d nodes, fixed depth %d per tree, 0 allocs per prediction\n",
+			r.CompiledBytes, r.CompiledNodes, r.CompiledSteps)
+	}
+	return s
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
 	"github.com/hotgauge/boreas/internal/faults"
 	"github.com/hotgauge/boreas/internal/runner"
 )
@@ -110,7 +111,7 @@ func (r *FaultGridResult) Cell(scenario, controller string) *FaultCell {
 // faultRun is one closed-loop run plus the guard telemetry pulled from
 // the controller instance that produced it.
 type faultRun struct {
-	res              *control.LoopResult
+	res              *engine.LoopResult
 	faulty, degraded int
 }
 
@@ -193,7 +194,7 @@ func FaultGrid(l *Lab, fc FaultGridConfig) (*FaultGridResult, error) {
 				if ktap != nil {
 					lc.CounterTap = ktap
 				}
-				res, err := control.RunLoop(p, w, ctrl, lc)
+				res, err := engine.RunLoop(p, w, ctrl, lc)
 				if err != nil {
 					return faultRunCell{}, err
 				}

@@ -304,7 +304,7 @@ func (inj *CounterInjector) Apply(step int, k *arch.Counters) {
 // Taps builds the (sensor, counter) injector pair for a scenario: the
 // slot matching the scenario's class is populated, the other is nil, and
 // a None scenario yields two nils. This is the convenience the
-// experiment grid uses to wire any class into control.LoopConfig.
+// experiment grid uses to wire any class into engine.LoopConfig.
 func Taps(sc Scenario) (*SensorInjector, *CounterInjector, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err

@@ -151,15 +151,26 @@ func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
 
 // Transform projects one row onto the component basis.
 func (m *Model) Transform(row []float64) []float64 {
-	out := make([]float64, len(m.Components))
+	return m.TransformInto(make([]float64, len(m.Components)), row)
+}
+
+// TransformInto projects one row into dst, growing it only if its
+// capacity is short of the component count, and returns the filled
+// slice. Decision loops pass a session-scoped scratch buffer so the
+// projection is allocation-free.
+func (m *Model) TransformInto(dst []float64, row []float64) []float64 {
+	if cap(dst) < len(m.Components) {
+		dst = make([]float64, len(m.Components))
+	}
+	dst = dst[:len(m.Components)]
 	for c, comp := range m.Components {
 		s := 0.0
 		for j, w := range comp {
 			s += w * (row[j] - m.Mean[j])
 		}
-		out[c] = s
+		dst[c] = s
 	}
-	return out
+	return dst
 }
 
 // TransformAll projects a dataset.

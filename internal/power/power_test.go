@@ -10,24 +10,24 @@ import (
 
 func TestTableIAnchors(t *testing.T) {
 	for _, p := range TableI {
-		if got := VoltageFor(p.FrequencyGHz); math.Abs(got-p.Voltage) > 1e-12 {
-			t.Errorf("VoltageFor(%g) = %g, want %g", p.FrequencyGHz, got, p.Voltage)
+		if got := DefaultVF().VoltageFor(p.FrequencyGHz); math.Abs(got-p.Voltage) > 1e-12 {
+			t.Errorf("DefaultVF().VoltageFor(%g) = %g, want %g", p.FrequencyGHz, got, p.Voltage)
 		}
 	}
 }
 
 func TestVoltageInterpolationMidpoints(t *testing.T) {
 	// 4.25 GHz sits halfway between the 4.0/0.98 and 4.5/1.15 anchors.
-	if got := VoltageFor(4.25); math.Abs(got-1.065) > 1e-9 {
-		t.Fatalf("VoltageFor(4.25) = %g, want 1.065", got)
+	if got := DefaultVF().VoltageFor(4.25); math.Abs(got-1.065) > 1e-9 {
+		t.Fatalf("DefaultVF().VoltageFor(4.25) = %g, want 1.065", got)
 	}
 }
 
 func TestVoltageClampsOutsideRange(t *testing.T) {
-	if VoltageFor(1.0) != 0.64 {
+	if DefaultVF().VoltageFor(1.0) != 0.64 {
 		t.Fatal("below-range voltage should clamp to the 2.0 GHz anchor")
 	}
-	if VoltageFor(6.0) != 1.40 {
+	if DefaultVF().VoltageFor(6.0) != 1.40 {
 		t.Fatal("above-range voltage should clamp to the 5.0 GHz anchor")
 	}
 }
@@ -39,7 +39,7 @@ func TestVoltageMonotone(t *testing.T) {
 		if fa > fb {
 			fa, fb = fb, fa
 		}
-		return VoltageFor(fa) <= VoltageFor(fb)+1e-12
+		return DefaultVF().VoltageFor(fa) <= DefaultVF().VoltageFor(fb)+1e-12
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -47,7 +47,7 @@ func TestVoltageMonotone(t *testing.T) {
 }
 
 func TestFrequencySteps(t *testing.T) {
-	steps := FrequencySteps()
+	steps := DefaultVF().FrequencySteps()
 	if len(steps) != 13 {
 		t.Fatalf("want 13 frequency steps (2.0-5.0 in 250 MHz), got %d", len(steps))
 	}
@@ -66,20 +66,20 @@ func TestClampFrequency(t *testing.T) {
 		{1.0, 2.0}, {2.0, 2.0}, {2.1, 2.0}, {2.13, 2.25}, {4.99, 5.0}, {7, 5.0}, {3.75, 3.75},
 	}
 	for _, c := range cases {
-		if got := ClampFrequency(c.in); math.Abs(got-c.want) > 1e-9 {
-			t.Errorf("ClampFrequency(%g) = %g, want %g", c.in, got, c.want)
+		if got := DefaultVF().ClampFrequency(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("DefaultVF().ClampFrequency(%g) = %g, want %g", c.in, got, c.want)
 		}
 	}
 }
 
 func TestFrequencyIndexRoundTrip(t *testing.T) {
-	for i, f := range FrequencySteps() {
-		got, err := FrequencyIndex(f)
+	for i, f := range DefaultVF().FrequencySteps() {
+		got, err := DefaultVF().FrequencyIndex(f)
 		if err != nil || got != i {
-			t.Fatalf("FrequencyIndex(%g) = %d, %v; want %d", f, got, err, i)
+			t.Fatalf("DefaultVF().FrequencyIndex(%g) = %d, %v; want %d", f, got, err, i)
 		}
 	}
-	if _, err := FrequencyIndex(3.1); err == nil {
+	if _, err := DefaultVF().FrequencyIndex(3.1); err == nil {
 		t.Fatal("expected error for illegal step")
 	}
 }

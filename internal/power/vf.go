@@ -32,40 +32,3 @@ const (
 	// FrequencyStepGHz is the controller's frequency granularity.
 	FrequencyStepGHz = 0.25
 )
-
-// VoltageFor returns the supply voltage for a frequency in GHz, linearly
-// interpolated between the Table I anchors and clamped (not extrapolated) at
-// the ends: requests below 2.0 GHz return the 2.0 GHz anchor's 0.64 V and
-// requests above 5.0 GHz return the 5.0 GHz anchor's 1.40 V.
-//
-// Deprecated: use a platform-scoped VFCurve (VFCurve.VoltageFor); this
-// wrapper always evaluates the default Table I curve.
-func VoltageFor(fGHz float64) float64 {
-	return DefaultVF().VoltageFor(fGHz)
-}
-
-// FrequencySteps returns the 13 operating frequencies 2.0, 2.25, ... 5.0.
-//
-// Deprecated: use a platform-scoped VFCurve (VFCurve.FrequencySteps); this
-// wrapper always evaluates the default Table I curve.
-func FrequencySteps() []float64 {
-	return DefaultVF().FrequencySteps()
-}
-
-// ClampFrequency snaps f to the nearest legal step inside the DVFS range.
-// A NaN request fails safe to the minimum frequency.
-//
-// Deprecated: use a platform-scoped VFCurve (VFCurve.ClampFrequency); this
-// wrapper always evaluates the default Table I curve.
-func ClampFrequency(fGHz float64) float64 {
-	return DefaultVF().ClampFrequency(fGHz)
-}
-
-// FrequencyIndex returns the index of f in FrequencySteps, or an error if
-// f is not a legal step.
-//
-// Deprecated: use a platform-scoped VFCurve (VFCurve.FrequencyIndex); this
-// wrapper always evaluates the default Table I curve.
-func FrequencyIndex(fGHz float64) (int, error) {
-	return DefaultVF().FrequencyIndex(fGHz)
-}

@@ -26,8 +26,8 @@ func TestVoltageForOutOfRange(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if got := VoltageFor(c.fGHz); got != c.want {
-				t.Errorf("VoltageFor(%g) = %g, want clamp to %g", c.fGHz, got, c.want)
+			if got := DefaultVF().VoltageFor(c.fGHz); got != c.want {
+				t.Errorf("DefaultVF().VoltageFor(%g) = %g, want clamp to %g", c.fGHz, got, c.want)
 			}
 			if got := DefaultVF().VoltageFor(c.fGHz); got != c.want {
 				t.Errorf("DefaultVF().VoltageFor(%g) = %g, want clamp to %g", c.fGHz, got, c.want)
@@ -58,18 +58,18 @@ func TestFrequencyIndexOffGrid(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			got, err := FrequencyIndex(c.fGHz)
+			got, err := DefaultVF().FrequencyIndex(c.fGHz)
 			if c.wantErr {
 				if err == nil {
-					t.Fatalf("FrequencyIndex(%g) = %d, want error", c.fGHz, got)
+					t.Fatalf("DefaultVF().FrequencyIndex(%g) = %d, want error", c.fGHz, got)
 				}
 				if !strings.Contains(err.Error(), "not a legal operating point") {
-					t.Fatalf("FrequencyIndex(%g) error %q lacks explanation", c.fGHz, err)
+					t.Fatalf("DefaultVF().FrequencyIndex(%g) error %q lacks explanation", c.fGHz, err)
 				}
 				return
 			}
 			if err != nil || got != c.wantIdx {
-				t.Fatalf("FrequencyIndex(%g) = %d, %v; want %d, nil", c.fGHz, got, err, c.wantIdx)
+				t.Fatalf("DefaultVF().FrequencyIndex(%g) = %d, %v; want %d, nil", c.fGHz, got, err, c.wantIdx)
 			}
 		})
 	}
@@ -91,8 +91,8 @@ func TestClampFrequencyOutOfRange(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if got := ClampFrequency(c.in); got != c.want {
-				t.Errorf("ClampFrequency(%g) = %g, want %g", c.in, got, c.want)
+			if got := DefaultVF().ClampFrequency(c.in); got != c.want {
+				t.Errorf("DefaultVF().ClampFrequency(%g) = %g, want %g", c.in, got, c.want)
 			}
 		})
 	}
@@ -106,7 +106,7 @@ func TestVFCurveMatchesGlobals(t *testing.T) {
 		t.Fatalf("DefaultVF range [%g,%g] != consts [%g,%g]", c.MinGHz(), c.MaxGHz(), MinFrequencyGHz, MaxFrequencyGHz)
 	}
 	steps := c.FrequencySteps()
-	global := FrequencySteps()
+	global := DefaultVF().FrequencySteps()
 	if len(steps) != len(global) || len(steps) != c.NumSteps() {
 		t.Fatalf("step count mismatch: curve %d, global %d, NumSteps %d", len(steps), len(global), c.NumSteps())
 	}
@@ -116,8 +116,8 @@ func TestVFCurveMatchesGlobals(t *testing.T) {
 		}
 	}
 	for f := 1.5; f <= 5.5; f += 0.01 {
-		if c.VoltageFor(f) != VoltageFor(f) {
-			t.Fatalf("VoltageFor(%g) diverges between curve and global", f)
+		if c.VoltageFor(f) != DefaultVF().VoltageFor(f) {
+			t.Fatalf("DefaultVF().VoltageFor(%g) diverges between curve and global", f)
 		}
 	}
 }

@@ -27,7 +27,7 @@ func TestZeroDelayConfigMatchesCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, _ := workload.ByName("calculix")
+	w, _ := workload.DefaultSet().ByName("calculix")
 	run := w.NewRun(1)
 	for i := 0; i < 10; i++ {
 		r, err := p.Step(run, 4.0)
@@ -45,7 +45,7 @@ func TestZeroDelayConfigMatchesCurrent(t *testing.T) {
 
 func TestVoltageFollowsTableI(t *testing.T) {
 	p := newPipeline(t)
-	w, _ := workload.ByName("gamess")
+	w, _ := workload.DefaultSet().ByName("gamess")
 	run := w.NewRun(1)
 	for _, c := range []struct{ f, v float64 }{{2.0, 0.64}, {3.5, 0.87}, {5.0, 1.40}} {
 		r, err := p.Step(run, c.f)
@@ -87,7 +87,7 @@ func TestSpikyWorkloadSeverityVariance(t *testing.T) {
 
 func TestPowerTracksFrequency(t *testing.T) {
 	p := newPipeline(t)
-	w, _ := workload.ByName("calculix")
+	w, _ := workload.DefaultSet().ByName("calculix")
 	run := w.NewRun(1)
 	var lowP, highP float64
 	for i := 0; i < 15; i++ {

@@ -66,7 +66,7 @@ func TestPipelineHasSevenSensors(t *testing.T) {
 
 func TestStepAdvancesTime(t *testing.T) {
 	p := newPipeline(t)
-	w, _ := workload.ByName("gamess")
+	w, _ := workload.DefaultSet().ByName("gamess")
 	run := w.NewRun(1)
 	for i := 1; i <= 5; i++ {
 		r, err := p.Step(run, 3.75)
@@ -82,7 +82,7 @@ func TestStepAdvancesTime(t *testing.T) {
 
 func TestStepResultSane(t *testing.T) {
 	p := newPipeline(t)
-	w, _ := workload.ByName("calculix")
+	w, _ := workload.DefaultSet().ByName("calculix")
 	run := w.NewRun(1)
 	var r StepResult
 	var err error
@@ -189,7 +189,7 @@ func TestWarmStartHeatsChip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, _ := workload.ByName("hmmer")
+	w, _ := workload.DefaultSet().ByName("hmmer")
 	if err := p.WarmStart(w, 4.0); err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestWarmStartDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, _ := workload.ByName("hmmer")
+	w, _ := workload.DefaultSet().ByName("hmmer")
 	if err := p.WarmStart(w, 4.0); err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestSensorDelayVisibleInSpikyWorkload(t *testing.T) {
 	// For a fast-phase workload, the delayed sensor reading must lag the
 	// current one during heating - the effect Boreas exists to beat.
 	p := newPipeline(t)
-	w, _ := workload.ByName("gromacs")
+	w, _ := workload.DefaultSet().ByName("gromacs")
 	if err := p.WarmStart(w, 4.5); err != nil {
 		t.Fatal(err)
 	}

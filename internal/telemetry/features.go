@@ -189,11 +189,22 @@ func FeatureIndex(name string) (int, error) {
 
 // Extract computes the full feature vector for one instance.
 func Extract(k arch.Counters, sensorTemp float64) []float64 {
-	out := make([]float64, len(featureDefs))
-	for i, d := range featureDefs {
-		out[i] = d.get(k, sensorTemp)
+	return ExtractInto(make([]float64, len(featureDefs)), k, sensorTemp)
+}
+
+// ExtractInto computes the full feature vector into dst, growing it only
+// if its capacity is short of NumFeatures, and returns the filled slice.
+// Decision loops call this once per tick with a session-scoped scratch
+// buffer, keeping the observe path allocation-free.
+func ExtractInto(dst []float64, k arch.Counters, sensorTemp float64) []float64 {
+	if cap(dst) < len(featureDefs) {
+		dst = make([]float64, len(featureDefs))
 	}
-	return out
+	dst = dst[:len(featureDefs)]
+	for i, d := range featureDefs {
+		dst[i] = d.get(k, sensorTemp)
+	}
+	return dst
 }
 
 // TableIVFeatureNames returns the paper's top-20 attribute list (Table IV)

@@ -214,7 +214,7 @@ func TestDriveRejectsBadSteps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := workload.ByName("bzip2")
+	w, err := workload.DefaultSet().ByName("bzip2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestDriveMetaAndFreqFn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := workload.ByName("calculix")
+	w, err := workload.DefaultSet().ByName("calculix")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -171,39 +171,18 @@ var catalog = []Workload{
 		{fpScalar(384*kb, 0.75), 1.8 * ms}, {fpVector(1, 512*kb, 0.8), 1.0 * ms}}},
 }
 
-// TrainNames lists the Table III training-set workloads.
-//
-// Deprecated: use a platform-scoped Set (Set.TrainNames); this global
-// describes the default catalogue only. Do not mutate.
-var TrainNames = []string{
+// defaultTrainNames lists the Table III training-set workloads of the
+// default catalogue (DefaultSet's train split).
+var defaultTrainNames = []string{
 	"milc", "bwaves", "soplex", "gobmk", "sjeng", "leslie3d", "gcc",
 	"calculix", "perlbench", "astar", "tonto", "zeusmp", "wrf", "lbm",
 	"mcf", "sphinx3", "povray", "libquantum", "namd", "gromacs",
 }
 
-// TestNames lists the Table III test-set workloads.
-//
-// Deprecated: use a platform-scoped Set (Set.TestNames); this global
-// describes the default catalogue only. Do not mutate.
-var TestNames = []string{
+// defaultTestNames lists the Table III test-set workloads of the default
+// catalogue (DefaultSet's test split).
+var defaultTestNames = []string{
 	"cactusADM", "omnetpp", "GemsFDTD", "h264ref", "bzip2", "hmmer", "gamess",
-}
-
-// Catalog returns the full 27-workload catalogue. The returned slice is
-// freshly allocated; the Workload values are shared and immutable.
-//
-// Deprecated: use a platform-scoped Set (Set.Catalog); this wrapper always
-// returns the default catalogue.
-func Catalog() []*Workload {
-	return DefaultSet().Catalog()
-}
-
-// ByName returns the named workload or an error.
-//
-// Deprecated: use a platform-scoped Set (Set.ByName); this wrapper always
-// consults the default catalogue.
-func ByName(name string) (*Workload, error) {
-	return DefaultSet().ByName(name)
 }
 
 func init() {

@@ -5,7 +5,7 @@ import (
 )
 
 func TestRunAccessors(t *testing.T) {
-	w, _ := ByName("lbm")
+	w, _ := DefaultSet().ByName("lbm")
 	run := w.NewRun(42)
 	if run.Workload() != w {
 		t.Fatal("Workload accessor mismatch")
@@ -16,8 +16,8 @@ func TestRunAccessors(t *testing.T) {
 }
 
 func TestSameSeedDifferentWorkloadsDecorrelated(t *testing.T) {
-	a, _ := ByName("milc")
-	b, _ := ByName("lbm")
+	a, _ := DefaultSet().ByName("milc")
+	b, _ := DefaultSet().ByName("lbm")
 	if a.NewRun(7).Seed() == b.NewRun(7).Seed() {
 		t.Fatal("different workloads share an effective seed")
 	}
@@ -25,8 +25,8 @@ func TestSameSeedDifferentWorkloadsDecorrelated(t *testing.T) {
 
 func TestSpikinessOrdering(t *testing.T) {
 	// Paper-critical behavioural contrasts encoded in the catalogue.
-	gromacs, _ := ByName("gromacs")
-	hmmer, _ := ByName("hmmer")
+	gromacs, _ := DefaultSet().ByName("gromacs")
+	hmmer, _ := DefaultSet().ByName("hmmer")
 	if gromacs.Jitter <= hmmer.Jitter {
 		t.Fatal("gromacs must be noisier than hmmer")
 	}
@@ -37,7 +37,7 @@ func TestSpikinessOrdering(t *testing.T) {
 
 func TestMemoryWorkloadsHaveLargeWorkingSets(t *testing.T) {
 	for _, name := range []string{"mcf", "lbm", "omnetpp"} {
-		w, _ := ByName(name)
+		w, _ := DefaultSet().ByName(name)
 		big := false
 		for _, ph := range w.Phases {
 			if ph.Params.DataWorkingSet >= 16*1024*1024 {
@@ -52,7 +52,7 @@ func TestMemoryWorkloadsHaveLargeWorkingSets(t *testing.T) {
 
 func TestFPWorkloadsUseWideVectors(t *testing.T) {
 	for _, name := range []string{"gromacs", "namd", "calculix", "leslie3d"} {
-		w, _ := ByName(name)
+		w, _ := DefaultSet().ByName(name)
 		wide := false
 		for _, ph := range w.Phases {
 			if ph.Params.FPWidth >= 4 {
@@ -66,7 +66,7 @@ func TestFPWorkloadsUseWideVectors(t *testing.T) {
 }
 
 func TestParamsAtNegativeTimeWraps(t *testing.T) {
-	w, _ := ByName("gcc")
+	w, _ := DefaultSet().ByName("gcc")
 	run := w.NewRun(1)
 	p := run.ParamsAt(-1e-3)
 	if err := p.Validate(); err != nil {

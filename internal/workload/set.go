@@ -128,7 +128,7 @@ func (s *Set) Validate() error {
 var defaultSet = mustDefaultSet()
 
 func mustDefaultSet() *Set {
-	s, err := NewSet(catalog, TrainNames, TestNames)
+	s, err := NewSet(catalog, defaultTrainNames, defaultTestNames)
 	if err != nil {
 		panic("workload: default set invalid: " + err.Error())
 	}

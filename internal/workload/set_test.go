@@ -18,7 +18,7 @@ func TestDefaultSetMatchesGlobals(t *testing.T) {
 		g := &catalog[i]
 		w, err := s.ByName(g.Name)
 		if err != nil {
-			t.Fatalf("ByName(%q): %v", g.Name, err)
+			t.Fatalf("DefaultSet().ByName(%q): %v", g.Name, err)
 		}
 		if w.seedOffset != g.seedOffset {
 			t.Fatalf("%s: set seedOffset %d != global %d", g.Name, w.seedOffset, g.seedOffset)
@@ -32,17 +32,17 @@ func TestDefaultSetMatchesGlobals(t *testing.T) {
 		}
 	}
 	train, test := s.TrainNames(), s.TestNames()
-	if len(train) != len(TrainNames) || len(test) != len(TestNames) {
-		t.Fatalf("split sizes %d/%d != global %d/%d", len(train), len(test), len(TrainNames), len(TestNames))
+	if len(train) != len(defaultTrainNames) || len(test) != len(defaultTestNames) {
+		t.Fatalf("split sizes %d/%d != global %d/%d", len(train), len(test), len(defaultTrainNames), len(defaultTestNames))
 	}
 	for i := range train {
-		if train[i] != TrainNames[i] {
-			t.Fatalf("train[%d] = %q != %q", i, train[i], TrainNames[i])
+		if train[i] != defaultTrainNames[i] {
+			t.Fatalf("train[%d] = %q != %q", i, train[i], defaultTrainNames[i])
 		}
 	}
 	for i := range test {
-		if test[i] != TestNames[i] {
-			t.Fatalf("test[%d] = %q != %q", i, test[i], TestNames[i])
+		if test[i] != defaultTestNames[i] {
+			t.Fatalf("test[%d] = %q != %q", i, test[i], defaultTestNames[i])
 		}
 	}
 }

@@ -8,12 +8,12 @@ import (
 )
 
 func TestCatalogComplete(t *testing.T) {
-	all := Catalog()
+	all := DefaultSet().Catalog()
 	if len(all) != 27 {
 		t.Fatalf("catalogue has %d workloads, want 27", len(all))
 	}
-	if len(TrainNames)+len(TestNames) != 27 {
-		t.Fatalf("train(%d)+test(%d) != 27", len(TrainNames), len(TestNames))
+	if len(defaultTrainNames)+len(defaultTestNames) != 27 {
+		t.Fatalf("train(%d)+test(%d) != 27", len(defaultTrainNames), len(defaultTestNames))
 	}
 	seen := map[string]bool{}
 	for _, w := range all {
@@ -22,7 +22,7 @@ func TestCatalogComplete(t *testing.T) {
 		}
 		seen[w.Name] = true
 	}
-	for _, n := range append(append([]string{}, TrainNames...), TestNames...) {
+	for _, n := range append(append([]string{}, defaultTrainNames...), defaultTestNames...) {
 		if !seen[n] {
 			t.Fatalf("split name %s missing from catalogue", n)
 		}
@@ -30,17 +30,17 @@ func TestCatalogComplete(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	w, err := ByName("gromacs")
+	w, err := DefaultSet().ByName("gromacs")
 	if err != nil || w.Name != "gromacs" {
-		t.Fatalf("ByName(gromacs) = %v, %v", w, err)
+		t.Fatalf("DefaultSet().ByName(gromacs) = %v, %v", w, err)
 	}
-	if _, err := ByName("doom"); err == nil {
+	if _, err := DefaultSet().ByName("doom"); err == nil {
 		t.Fatal("expected unknown-benchmark error")
 	}
 }
 
 func TestAllEntriesValid(t *testing.T) {
-	for _, w := range Catalog() {
+	for _, w := range DefaultSet().Catalog() {
 		if err := w.Validate(); err != nil {
 			t.Errorf("%s: %v", w.Name, err)
 		}
@@ -48,7 +48,7 @@ func TestAllEntriesValid(t *testing.T) {
 }
 
 func TestParamsAtAlwaysValid(t *testing.T) {
-	for _, w := range Catalog() {
+	for _, w := range DefaultSet().Catalog() {
 		run := w.NewRun(1)
 		for i := 0; i < 400; i++ {
 			tm := float64(i) * 80e-6
@@ -61,7 +61,7 @@ func TestParamsAtAlwaysValid(t *testing.T) {
 }
 
 func TestParamsAtDeterministic(t *testing.T) {
-	w, _ := ByName("gcc")
+	w, _ := DefaultSet().ByName("gcc")
 	a := w.NewRun(5)
 	b := w.NewRun(5)
 	for i := 0; i < 100; i++ {
@@ -74,7 +74,7 @@ func TestParamsAtDeterministic(t *testing.T) {
 
 func TestParamsAtPureInTime(t *testing.T) {
 	// Calling out of order or repeatedly must not change results.
-	w, _ := ByName("gromacs")
+	w, _ := DefaultSet().ByName("gromacs")
 	run := w.NewRun(9)
 	p1 := run.ParamsAt(3e-3)
 	_ = run.ParamsAt(1e-3)
@@ -86,7 +86,7 @@ func TestParamsAtPureInTime(t *testing.T) {
 }
 
 func TestSeedsChangeJitter(t *testing.T) {
-	w, _ := ByName("gromacs")
+	w, _ := DefaultSet().ByName("gromacs")
 	a := w.NewRun(1)
 	b := w.NewRun(2)
 	diff := 0
@@ -102,7 +102,7 @@ func TestSeedsChangeJitter(t *testing.T) {
 }
 
 func TestPhaseCyclingCoversAllPhases(t *testing.T) {
-	w, _ := ByName("libquantum")
+	w, _ := DefaultSet().ByName("libquantum")
 	run := w.NewRun(1)
 	sawBurst, sawStream := false, false
 	for i := 0; i < 300; i++ {
@@ -124,7 +124,7 @@ func TestSpikyWorkloadsHaveFastPhases(t *testing.T) {
 	// 960 us sensor/decision interval, or the paper's central argument
 	// (sensors cannot catch fast hotspots) has nothing to bite on.
 	for _, name := range []string{"gromacs", "libquantum"} {
-		w, _ := ByName(name)
+		w, _ := DefaultSet().ByName(name)
 		minDur := math.Inf(1)
 		for _, p := range w.Phases {
 			minDur = math.Min(minDur, p.Duration)
@@ -154,7 +154,7 @@ func TestIntensityScalesActivity(t *testing.T) {
 }
 
 func TestTransitionSmoothsBoundary(t *testing.T) {
-	w, _ := ByName("bwaves") // 300 us transition between phases
+	w, _ := DefaultSet().ByName("bwaves") // 300 us transition between phases
 	// Strip jitter for a clean measurement.
 	smooth := *w
 	smooth.Jitter = 0
@@ -203,10 +203,10 @@ func TestValidateCatchesBadDefinitions(t *testing.T) {
 
 func TestTrainTestDisjoint(t *testing.T) {
 	train := map[string]bool{}
-	for _, n := range TrainNames {
+	for _, n := range defaultTrainNames {
 		train[n] = true
 	}
-	for _, n := range TestNames {
+	for _, n := range defaultTestNames {
 		if train[n] {
 			t.Fatalf("%s appears in both train and test sets", n)
 		}
