@@ -11,7 +11,7 @@ GO ?= go
 GOFMT ?= gofmt
 SCENARIO := examples/platforms/mobile-7nm.json
 
-.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke ci bench bench-parallel bench-trace bench-gbt bench-engine clean
+.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke serve-smoke ci bench bench-parallel bench-trace bench-gbt bench-engine bench-serve clean
 
 all: build
 
@@ -83,7 +83,26 @@ soak-smoke:
 	if [ ! -f smoke_ckpt/manifest.json ]; then echo "deadline smoke: no checkpoint saved"; rm -rf smoke_ckpt; exit 1; fi; \
 	rm -rf smoke_ckpt; echo "deadline smoke: exit 3 with resumable checkpoint, as intended"
 
-ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke
+# Serving smoke: start the decision daemon on a random port, hit
+# /healthz and one batched /v1/decide, scrape /metrics, SIGTERM it, and
+# assert a graceful exit 0. The same contract also runs as
+# TestServeSmoke; this target drives it through the shell the way an
+# operator would.
+serve-smoke:
+	@$(GO) build -o smoke_serve ./cmd/boreas; \
+	./smoke_serve serve -addr 127.0.0.1:0 > smoke_serve.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do grep -q 'listening on' smoke_serve.log && break; sleep 0.1; done; \
+	addr=$$(sed -n 's/.*listening on //p' smoke_serve.log | head -1); \
+	fail() { echo "serve smoke: $$1"; kill $$pid 2>/dev/null; rm -f smoke_serve smoke_serve.log; exit 1; }; \
+	[ -n "$$addr" ] || fail "daemon never announced its address"; \
+	curl -sf "http://$$addr/healthz" | grep -q '"ok"' || fail "healthz failed"; \
+	curl -sf -X POST "http://$$addr/v1/decide" -d '{"batch":[{"chip":"c0","observation":{"sensor_temp":55}},{"chip":"c1","observation":{"sensor_temp":60}}]}' | grep -q '"decisions"' || fail "batched decide failed"; \
+	curl -sf "http://$$addr/metrics" | grep -q 'boreas_decisions_total 2' || fail "metrics do not reflect the decisions"; \
+	kill -TERM $$pid; wait $$pid; code=$$?; \
+	[ $$code -eq 0 ] || fail "exit $$code after SIGTERM, want 0"; \
+	rm -f smoke_serve smoke_serve.log; echo "serve smoke: healthz + batched decide + metrics + graceful SIGTERM, as intended"
+
+ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -105,6 +124,11 @@ bench-gbt:
 # walk, the zero-alloc Session.Decide path, and fleet scaling).
 bench-engine:
 	BENCH_ENGINE=1 $(GO) test -run TestWriteBenchEngineArtefact -timeout 30m -v .
+
+# Refresh BENCH_serve.json (in-process registry decide vs single vs
+# batched HTTP decide throughput; steady-state allocs per op).
+bench-serve:
+	BENCH_SERVE=1 $(GO) test -run TestWriteBenchServeArtefact -timeout 30m -v .
 
 clean:
 	$(GO) clean ./...

@@ -33,6 +33,7 @@ package boreas
 
 import (
 	"context"
+	"net/http"
 
 	"github.com/hotgauge/boreas/internal/checkpoint"
 	"github.com/hotgauge/boreas/internal/control"
@@ -42,9 +43,11 @@ import (
 	"github.com/hotgauge/boreas/internal/faults"
 	"github.com/hotgauge/boreas/internal/hotspot"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
+	"github.com/hotgauge/boreas/internal/obs"
 	"github.com/hotgauge/boreas/internal/platform"
 	"github.com/hotgauge/boreas/internal/power"
 	"github.com/hotgauge/boreas/internal/runner"
+	"github.com/hotgauge/boreas/internal/serve"
 	"github.com/hotgauge/boreas/internal/sim"
 	"github.com/hotgauge/boreas/internal/telemetry"
 	"github.com/hotgauge/boreas/internal/trace"
@@ -473,6 +476,47 @@ func NewLab(cfg ExperimentConfig) (*Lab, error) { return experiments.NewLab(cfg)
 func NewLabContext(ctx context.Context, cfg ExperimentConfig) (*Lab, error) {
 	return experiments.NewLabContext(ctx, cfg)
 }
+
+// Serving. The serve layer is the deployed shape of the controller: a
+// concurrent Registry of per-chip Sessions (created on first
+// observation, cloned controllers, idle-TTL and capacity eviction) and
+// an HTTP/JSON handler over it (`boreas serve`). The obs layer supplies
+// the counters and latency histogram behind /metrics.
+type (
+	// DecisionRegistry is the concurrent chip-to-session table the serve
+	// daemon decides through.
+	DecisionRegistry = serve.Registry
+	// DecisionRegistryConfig parametrises a DecisionRegistry.
+	DecisionRegistryConfig = serve.RegistryConfig
+	// ServeSessionInfo is one chip's JSON-safe registry snapshot.
+	ServeSessionInfo = serve.SessionInfo
+	// ServeObservation is the wire form of one chip observation.
+	ServeObservation = serve.Observation
+	// ServeDecision is the wire form of one commanded operating point.
+	ServeDecision = serve.Decision
+	// Metrics is the serving layer's concurrent counter set.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a JSON-safe point-in-time Metrics state; it
+	// renders as the CLI text block or Prometheus exposition.
+	MetricsSnapshot = obs.Snapshot
+	// LatencyHistogram is a fixed-bucket, allocation-free duration
+	// histogram.
+	LatencyHistogram = obs.Histogram
+)
+
+// NewDecisionRegistry builds the concurrent session registry the serve
+// daemon (and any embedded serving use) decides through.
+func NewDecisionRegistry(cfg DecisionRegistryConfig) (*DecisionRegistry, error) {
+	return serve.NewRegistry(cfg)
+}
+
+// NewServeHandler wires the decision service's HTTP API (decide,
+// sessions, healthz, metrics, pprof) around a registry; mount it on any
+// http.Server.
+func NewServeHandler(reg *DecisionRegistry) http.Handler { return serve.NewHandler(reg) }
+
+// NewMetrics returns a Metrics with the default latency buckets.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
 
 // Crash-safe campaigns. A Checkpoint is a content-addressed artifact
 // store: every completed campaign cell (dataset fragment, trained model,

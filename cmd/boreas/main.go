@@ -44,6 +44,12 @@ var experimentNames = []string{
 }
 
 func main() {
+	// `boreas serve` is a subcommand with its own flag set; everything
+	// else stays on the historical single-level flag interface.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		expr    = flag.String("experiment", "all", "experiment to run: all | "+strings.Join(experimentNames, " | "))
 		quick   = flag.Bool("quick", false, "use the reduced campaign (seconds instead of minutes)")
@@ -55,6 +61,12 @@ func main() {
 	ck := cliutil.RegisterFlags()
 	flag.Parse()
 	checkpointDir = ck.Dir
+	if err := cliutil.CheckPositive("j", *workers); err != nil {
+		cliutil.FatalUsage("boreas", err)
+	}
+	if err := cliutil.CheckPositive("chips", *chips); err != nil {
+		cliutil.FatalUsage("boreas", err)
+	}
 
 	ctx, stop := ck.Context()
 	defer stop()

@@ -49,6 +49,9 @@ func main() {
 	ck := cliutil.RegisterFlags()
 	flag.Parse()
 	checkpointDir = ck.Dir
+	if err := cliutil.CheckPositive("j", *workers); err != nil {
+		cliutil.FatalUsage("hotgauge", err)
+	}
 
 	ctx, stop := ck.Context()
 	defer stop()

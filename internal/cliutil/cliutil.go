@@ -91,6 +91,28 @@ func (o *Options) OpenStore(tool string) (*checkpoint.Store, error) {
 	return store, nil
 }
 
+// ExitUsage is the exit code for an invalid flag value, matching what
+// package flag uses for unparseable flags: misuse is 2, runtime failure
+// is 1.
+const ExitUsage = 2
+
+// CheckPositive returns a usage error unless v is strictly positive.
+// CLIs run it on count-valued flags (-j, -chips, ...) after parsing, so
+// "-j 0" fails with a descriptive message instead of surfacing as a
+// confusing downstream error or a silently-normalized value.
+func CheckPositive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("flag -%s must be a positive integer (got %d)", name, v)
+	}
+	return nil
+}
+
+// FatalUsage prints err and exits with the flag-usage code (2).
+func FatalUsage(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitUsage)
+}
+
 // Interrupted reports whether err is a cancellation or deadline error —
 // the run was stopped on purpose, not broken.
 func Interrupted(err error) bool {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/hotgauge/boreas/internal/checkpoint"
@@ -72,6 +73,23 @@ func TestInterrupted(t *testing.T) {
 	}
 	if Interrupted(errors.New("disk on fire")) {
 		t.Fatal("real errors must not count as interrupted")
+	}
+}
+
+func TestCheckPositive(t *testing.T) {
+	if err := CheckPositive("j", 4); err != nil {
+		t.Fatalf("positive value rejected: %v", err)
+	}
+	for _, v := range []int{0, -1, -100} {
+		err := CheckPositive("chips", v)
+		if err == nil {
+			t.Fatalf("CheckPositive(chips, %d) accepted", v)
+		}
+		// The message must name the flag and the offending value so the
+		// user can fix the invocation without reading source.
+		if msg := err.Error(); !strings.Contains(msg, "-chips") || !strings.Contains(msg, fmt.Sprint(v)) {
+			t.Fatalf("undescriptive usage error %q", msg)
+		}
 	}
 }
 

@@ -1,0 +1,127 @@
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// JSON encoding for CriticalTemps. The table legitimately stores +Inf
+// ("this frequency never misbehaved at any temperature"), which
+// encoding/json rejects as a number, and its keys are float64
+// frequencies, which JSON objects cannot carry directly. Both are
+// encoded as strings: frequencies via the shortest exact float form,
+// temperatures likewise with "+Inf"/"-Inf" spelled out. The encoding
+// round-trips bit-exactly (strconv shortest form is lossless), so
+// serve, metrics and report paths can marshal tables without tripping
+// over the sentinel. NaN is rejected on both paths: a NaN threshold is
+// always a bug, never data.
+
+// jsonFloat renders a float64 exactly, including the infinities.
+func jsonFloat(v float64) (string, error) {
+	if math.IsNaN(v) {
+		return "", fmt.Errorf("control: NaN has no JSON rendering")
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64), nil
+}
+
+// parseJSONFloat inverts jsonFloat ("+Inf"/"-Inf" parse via strconv).
+func parseJSONFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("control: bad float %q: %w", s, err)
+	}
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("control: NaN is not a legal table value")
+	}
+	return v, nil
+}
+
+// critTempsJSON is the wire form of CriticalTemps.
+type critTempsJSON struct {
+	PerWorkload map[string]map[string]string `json:"per_workload,omitempty"`
+	Global      map[string]string            `json:"global,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with string-encoded frequencies
+// and temperatures so +Inf thresholds survive the trip.
+func (ct *CriticalTemps) MarshalJSON() ([]byte, error) {
+	out := critTempsJSON{}
+	if ct.PerWorkload != nil {
+		out.PerWorkload = make(map[string]map[string]string, len(ct.PerWorkload))
+		for w, row := range ct.PerWorkload {
+			m := make(map[string]string, len(row))
+			for f, temp := range row {
+				fs, err := jsonFloat(f)
+				if err != nil {
+					return nil, err
+				}
+				ts, err := jsonFloat(temp)
+				if err != nil {
+					return nil, fmt.Errorf("workload %s, frequency %g: %w", w, f, err)
+				}
+				m[fs] = ts
+			}
+			out.PerWorkload[w] = m
+		}
+	}
+	if ct.Global != nil {
+		out.Global = make(map[string]string, len(ct.Global))
+		for f, temp := range ct.Global {
+			fs, err := jsonFloat(f)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := jsonFloat(temp)
+			if err != nil {
+				return nil, fmt.Errorf("global frequency %g: %w", f, err)
+			}
+			out.Global[fs] = ts
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, inverting MarshalJSON
+// bit-exactly.
+func (ct *CriticalTemps) UnmarshalJSON(data []byte) error {
+	var in critTempsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*ct = CriticalTemps{}
+	if in.PerWorkload != nil {
+		ct.PerWorkload = make(map[string]map[float64]float64, len(in.PerWorkload))
+		for w, row := range in.PerWorkload {
+			m := make(map[float64]float64, len(row))
+			for fs, ts := range row {
+				f, err := parseJSONFloat(fs)
+				if err != nil {
+					return err
+				}
+				temp, err := parseJSONFloat(ts)
+				if err != nil {
+					return err
+				}
+				m[f] = temp
+			}
+			ct.PerWorkload[w] = m
+		}
+	}
+	if in.Global != nil {
+		ct.Global = make(map[float64]float64, len(in.Global))
+		for fs, ts := range in.Global {
+			f, err := parseJSONFloat(fs)
+			if err != nil {
+				return err
+			}
+			temp, err := parseJSONFloat(ts)
+			if err != nil {
+				return err
+			}
+			ct.Global[f] = temp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package control
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestCriticalTempsJSONRoundTrip pins the JSON-safety contract: a table
+// holding +Inf sentinels ("this frequency never misbehaved") marshals
+// cleanly and round-trips bit-exactly, so serve/report paths can embed
+// tables in JSON without tripping encoding/json's non-finite rejection.
+func TestCriticalTempsJSONRoundTrip(t *testing.T) {
+	ct := &CriticalTemps{
+		PerWorkload: map[string]map[float64]float64{
+			"bzip2":    {2.0: math.Inf(1), 3.75: 71.25, 5.0: 58.9375},
+			"calculix": {2.0: 88.062500000000001, 5.0: math.Inf(1)},
+		},
+		Global: map[float64]float64{
+			2.0:  math.Inf(1),
+			3.75: 71.25,
+			5.0:  58.9375,
+		},
+	}
+	data, err := json.Marshal(ct)
+	if err != nil {
+		t.Fatalf("table with +Inf does not marshal: %v", err)
+	}
+	var back CriticalTemps
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("table does not unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(ct, &back) {
+		t.Fatalf("round trip changed the table:\n got %+v\nwant %+v", &back, ct)
+	}
+}
+
+func TestCriticalTempsJSONRejectsNaN(t *testing.T) {
+	ct := &CriticalTemps{Global: map[float64]float64{3.75: math.NaN()}}
+	if _, err := json.Marshal(ct); err == nil {
+		t.Fatal("NaN threshold marshalled without error")
+	}
+	var back CriticalTemps
+	if err := json.Unmarshal([]byte(`{"global":{"3.75":"NaN"}}`), &back); err == nil {
+		t.Fatal("NaN threshold unmarshalled without error")
+	}
+	if err := json.Unmarshal([]byte(`{"global":{"3.75":"warm"}}`), &back); err == nil {
+		t.Fatal("garbage threshold unmarshalled without error")
+	}
+}
+
+func TestCriticalTempsJSONEmpty(t *testing.T) {
+	var ct CriticalTemps
+	data, err := json.Marshal(&ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CriticalTemps
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Global != nil || back.PerWorkload != nil {
+		t.Fatalf("empty table grew maps: %+v", back)
+	}
+}

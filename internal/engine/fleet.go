@@ -55,9 +55,14 @@ type ChipResult struct {
 	PeakMLTD float64
 	// Incursions counts the chip's timesteps at severity >= 1.0.
 	Incursions int
+	// Stats are the chip's decision diagnostics (throttle/climb/hold/
+	// clamp counts), as accumulated by its Session.
+	Stats Stats
 }
 
-// FleetResult aggregates a fleet run.
+// FleetResult aggregates a fleet run. Every field is finite, so the
+// result marshals with encoding/json as-is (serve and report paths
+// depend on that; see TestFleetResultJSONRoundTrip).
 type FleetResult struct {
 	Chips []ChipResult
 	// AvgFreq is the fleet-mean of the per-chip average frequencies.
@@ -69,6 +74,29 @@ type FleetResult struct {
 	// DegradedChips counts chips that finished with at least one
 	// incursion.
 	DegradedChips int
+}
+
+// defaultedLoop fills unset LoopConfig fields from DefaultLoopConfig,
+// field by field: a partial config such as LoopConfig{Steps: 300}
+// inherits the default decision period, start frequency and sensor
+// instead of failing validation. Zero means unset for every defaulted
+// field — including SensorIndex, where sensor 0 cannot be requested
+// through a fleet config (drive RunLoop directly for that).
+func defaultedLoop(loop LoopConfig) LoopConfig {
+	def := DefaultLoopConfig()
+	if loop.Steps == 0 {
+		loop.Steps = def.Steps
+	}
+	if loop.DecisionPeriod == 0 {
+		loop.DecisionPeriod = def.DecisionPeriod
+	}
+	if loop.StartFreq == 0 {
+		loop.StartFreq = def.StartFreq
+	}
+	if loop.SensorIndex == 0 {
+		loop.SensorIndex = def.SensorIndex
+	}
+	return loop
 }
 
 // RunFleet executes cfg.Chips independent closed-loop sessions against
@@ -91,10 +119,7 @@ func RunFleet(ctx context.Context, p *sim.Pipeline, cfg FleetConfig) (*FleetResu
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("engine: fleet has no workloads")
 	}
-	loop := cfg.Loop
-	if loop.Steps == 0 && loop.DecisionPeriod == 0 {
-		loop = DefaultLoopConfig()
-	}
+	loop := defaultedLoop(cfg.Loop)
 
 	chips, err := runner.Map(ctx, cfg.Workers, cfg.Chips, func(ctx context.Context, i int) (ChipResult, error) {
 		seed := runner.DeriveSeed(cfg.Seed, uint64(i))
@@ -127,13 +152,18 @@ func RunFleet(ctx context.Context, p *sim.Pipeline, cfg FleetConfig) (*FleetResu
 			PeakSeverity: res.PeakSeverity,
 			PeakMLTD:     res.PeakMLTD,
 			Incursions:   res.Incursions,
+			Stats:        res.Stats,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	fr := &FleetResult{Chips: chips, WorstSeverity: math.Inf(-1)}
+	// The worst severity starts from the first chip, not a -Inf
+	// sentinel: cfg.Chips is validated positive, so chips is never
+	// empty, and a sentinel that survives aggregation cannot be
+	// marshalled by encoding/json.
+	fr := &FleetResult{Chips: chips, WorstSeverity: chips[0].PeakSeverity}
 	sum := 0.0
 	for _, c := range chips {
 		sum += c.AvgFreq

@@ -86,6 +86,9 @@ type LoopResult struct {
 	PeakMLTD float64
 	// Incursions counts timesteps with severity >= 1.0 (hotspot events).
 	Incursions int
+	// Stats are the decision diagnostics of the session that drove the
+	// run (throttle/climb/hold partition, clamp count).
+	Stats Stats
 }
 
 // loopObserver closes the control loop over the streaming drive: it
@@ -178,5 +181,6 @@ func RunLoop(p *sim.Pipeline, w *workload.Workload, ctrl control.Controller, cfg
 	for _, s := range res.Severity {
 		res.PeakSeverity = math.Max(res.PeakSeverity, s)
 	}
+	res.Stats = sess.Stats
 	return res, nil
 }

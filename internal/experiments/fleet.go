@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/hotgauge/boreas/internal/engine"
+	"github.com/hotgauge/boreas/internal/obs"
 	"github.com/hotgauge/boreas/internal/runner"
 )
 
@@ -90,5 +91,32 @@ func (r *FleetStudyResult) Render() string {
 	}
 	fmt.Fprintf(&b, "  fleet: avg %.3f GHz, worst severity %.3f, %d incursions, %d degraded chips\n",
 		f.AvgFreq, f.WorstSeverity, f.TotalIncursions, f.DegradedChips)
+	b.WriteString(indent(r.Snapshot().Render(), "  "))
 	return b.String()
+}
+
+// Snapshot folds the fleet's per-chip session stats into the same
+// observability counters the serve daemon exposes on /metrics, so
+// offline campaigns and the live service render decision telemetry in
+// one format.
+func (r *FleetStudyResult) Snapshot() obs.Snapshot {
+	m := obs.NewMetrics()
+	for _, c := range r.Fleet.Chips {
+		s := c.Stats
+		m.AddDecisions(uint64(s.Decisions), uint64(s.Throttles), uint64(s.Climbs), uint64(s.Holds), uint64(s.Clamped))
+	}
+	snap := m.Snapshot()
+	snap.Sessions = len(r.Fleet.Chips)
+	return snap
+}
+
+// indent prefixes every non-empty line.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

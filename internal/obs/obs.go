@@ -1,0 +1,269 @@
+// Package obs is the observability layer of the serving stack: atomic
+// request/decision counters, a fixed-bucket latency histogram, and a
+// JSON-safe Snapshot that both the HTTP /metrics endpoint and the
+// fleet/experiment CLIs render.
+//
+// The package deliberately depends on nothing but the standard library
+// (and not even the clock): callers time their own operations and hand
+// durations in, so tests are free of time-of-day dependence and the
+// recording path stays allocation-free. All recorders are safe for
+// concurrent use; Snapshot is a plain value safe to marshal, compare
+// and render.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBounds are the histogram bucket upper bounds in seconds
+// (1 us to 1 s, roughly 1-2.5-5 per decade). The final implicit bucket
+// is +Inf; keeping the explicit bounds finite keeps every Snapshot
+// field representable in JSON.
+func DefaultLatencyBounds() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1,
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters.
+// The zero value is unusable; build one with NewHistogram. Observe is
+// lock-free and allocation-free.
+type Histogram struct {
+	// bounds are the finite bucket upper bounds, ascending. counts has
+	// len(bounds)+1 entries; the last one is the +Inf overflow bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	// sumNanos accumulates total observed time in integer nanoseconds,
+	// so concurrent adds stay exact without a float CAS loop.
+	sumNanos atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// bounds in seconds (nil: DefaultLatencyBounds).
+func NewHistogram(boundsSeconds []float64) *Histogram {
+	if len(boundsSeconds) == 0 {
+		boundsSeconds = DefaultLatencyBounds()
+	}
+	bounds := append([]float64(nil), boundsSeconds...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	// Binary search inlined to stay allocation-free (sort.SearchFloat64s
+	// takes the slice by interface in older toolchains; this is also the
+	// hot path of every served decision).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < secs {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// HistogramSnapshot is the JSON-safe point-in-time state of a Histogram:
+// the bounds are finite (the +Inf overflow bucket is implicit as the
+// final count), so encoding/json accepts every field.
+type HistogramSnapshot struct {
+	// BoundsSeconds are the finite bucket upper bounds.
+	BoundsSeconds []float64 `json:"bounds_seconds"`
+	// Counts[i] is the number of observations <= BoundsSeconds[i]; the
+	// final extra entry counts observations above every bound.
+	Counts []uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// SumSeconds is the total observed time.
+	SumSeconds float64 `json:"sum_seconds"`
+}
+
+// Snapshot captures the histogram state. Under concurrent Observe
+// traffic the bucket counts are each individually exact but may not sum
+// to a single instant's Count; metrics scrapes tolerate that by design.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		BoundsSeconds: append([]float64(nil), h.bounds...),
+		Counts:        make([]uint64, len(h.counts)),
+		Count:         h.count.Load(),
+		SumSeconds:    time.Duration(h.sumNanos.Load()).Seconds(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Metrics is the serving layer's counter set. All fields are safe for
+// concurrent use; the zero value needs Init (or NewMetrics) to size the
+// latency histogram.
+type Metrics struct {
+	// Requests counts HTTP requests accepted by the decision service;
+	// BadRequests counts the subset rejected as malformed (4xx).
+	Requests, BadRequests atomic.Uint64
+	// Decisions counts Session.Decide calls served. Throttles, Climbs
+	// and Holds partition Decisions by the commanded direction; Clamps
+	// counts decisions whose raw controller output had to be clamped to
+	// a legal operating point.
+	Decisions, Throttles, Climbs, Holds, Clamps atomic.Uint64
+	// SessionsCreated and SessionsEvicted track registry churn
+	// (evictions split by cause: idle TTL vs capacity LRU).
+	SessionsCreated, EvictedIdle, EvictedLRU atomic.Uint64
+
+	// DecideLatency is the per-decision service time distribution.
+	DecideLatency *Histogram
+}
+
+// NewMetrics returns a Metrics with the default latency buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{DecideLatency: NewHistogram(nil)}
+}
+
+// RecordDecision folds one decision into the counters: prev and next
+// are the operating frequencies before and after the decision, clamped
+// reports whether the raw controller output was clamped, d is the
+// decide service time.
+func (m *Metrics) RecordDecision(prev, next float64, clamped bool, d time.Duration) {
+	m.Decisions.Add(1)
+	switch {
+	case next < prev:
+		m.Throttles.Add(1)
+	case next > prev:
+		m.Climbs.Add(1)
+	default:
+		m.Holds.Add(1)
+	}
+	if clamped {
+		m.Clamps.Add(1)
+	}
+	if m.DecideLatency != nil {
+		m.DecideLatency.Observe(d)
+	}
+}
+
+// AddDecisions folds pre-aggregated decision counts in (the fleet and
+// experiment CLIs render campaign results through the same Snapshot the
+// daemon serves on /metrics).
+func (m *Metrics) AddDecisions(decisions, throttles, climbs, holds, clamps uint64) {
+	m.Decisions.Add(decisions)
+	m.Throttles.Add(throttles)
+	m.Climbs.Add(climbs)
+	m.Holds.Add(holds)
+	m.Clamps.Add(clamps)
+}
+
+// Snapshot is the JSON-safe point-in-time state of a Metrics. Every
+// field is finite, so encoding/json accepts it as-is.
+type Snapshot struct {
+	Requests    uint64 `json:"requests"`
+	BadRequests uint64 `json:"bad_requests"`
+
+	Decisions uint64 `json:"decisions"`
+	Throttles uint64 `json:"throttles"`
+	Climbs    uint64 `json:"climbs"`
+	Holds     uint64 `json:"holds"`
+	Clamps    uint64 `json:"clamps"`
+
+	SessionsCreated uint64 `json:"sessions_created"`
+	EvictedIdle     uint64 `json:"evicted_idle"`
+	EvictedLRU      uint64 `json:"evicted_lru"`
+	// Sessions is the live session count at snapshot time (filled by the
+	// registry, not the counters).
+	Sessions int `json:"sessions"`
+
+	DecideLatency HistogramSnapshot `json:"decide_latency"`
+}
+
+// Snapshot captures the counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:        m.Requests.Load(),
+		BadRequests:     m.BadRequests.Load(),
+		Decisions:       m.Decisions.Load(),
+		Throttles:       m.Throttles.Load(),
+		Climbs:          m.Climbs.Load(),
+		Holds:           m.Holds.Load(),
+		Clamps:          m.Clamps.Load(),
+		SessionsCreated: m.SessionsCreated.Load(),
+		EvictedIdle:     m.EvictedIdle.Load(),
+		EvictedLRU:      m.EvictedLRU.Load(),
+	}
+	if m.DecideLatency != nil {
+		s.DecideLatency = m.DecideLatency.Snapshot()
+	}
+	return s
+}
+
+// Render formats the snapshot as the aligned text block the CLIs print.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests  %10d (bad %d)\n", s.Requests, s.BadRequests)
+	fmt.Fprintf(&b, "decisions %10d (throttle %d, climb %d, hold %d, clamped %d)\n",
+		s.Decisions, s.Throttles, s.Climbs, s.Holds, s.Clamps)
+	fmt.Fprintf(&b, "sessions  %10d live (created %d, evicted %d idle + %d lru)\n",
+		s.Sessions, s.SessionsCreated, s.EvictedIdle, s.EvictedLRU)
+	if s.DecideLatency.Count > 0 {
+		mean := s.DecideLatency.SumSeconds / float64(s.DecideLatency.Count)
+		fmt.Fprintf(&b, "decide    %10.1f us mean over %d decisions\n", mean*1e6, s.DecideLatency.Count)
+	}
+	return b.String()
+}
+
+// Prom renders the snapshot in the Prometheus text exposition format
+// under the given metric prefix (e.g. "boreas"). The +Inf histogram
+// bucket exists only here, as the conventional le="+Inf" label — the
+// Snapshot itself stays JSON-safe.
+func (s Snapshot) Prom(prefix string) string {
+	var b strings.Builder
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(&b, "# TYPE %s_%s counter\n%s_%s %d\n", prefix, name, prefix, name, v)
+	}
+	counter("requests_total", s.Requests)
+	counter("bad_requests_total", s.BadRequests)
+	counter("decisions_total", s.Decisions)
+	counter("throttles_total", s.Throttles)
+	counter("climbs_total", s.Climbs)
+	counter("holds_total", s.Holds)
+	counter("clamps_total", s.Clamps)
+	counter("sessions_created_total", s.SessionsCreated)
+	counter("sessions_evicted_idle_total", s.EvictedIdle)
+	counter("sessions_evicted_lru_total", s.EvictedLRU)
+	fmt.Fprintf(&b, "# TYPE %s_sessions gauge\n%s_sessions %d\n", prefix, prefix, s.Sessions)
+
+	h := s.DecideLatency
+	if len(h.Counts) == len(h.BoundsSeconds)+1 {
+		fmt.Fprintf(&b, "# TYPE %s_decide_latency_seconds histogram\n", prefix)
+		cum := uint64(0)
+		for i, bound := range h.BoundsSeconds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_decide_latency_seconds_bucket{le=%q} %d\n", prefix, formatBound(bound), cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(&b, "%s_decide_latency_seconds_bucket{le=\"+Inf\"} %d\n", prefix, cum)
+		fmt.Fprintf(&b, "%s_decide_latency_seconds_sum %g\n", prefix, h.SumSeconds)
+		fmt.Fprintf(&b, "%s_decide_latency_seconds_count %d\n", prefix, h.Count)
+	}
+	return b.String()
+}
+
+// formatBound renders a bucket bound the shortest exact way.
+func formatBound(v float64) string { return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0") }

@@ -1,0 +1,341 @@
+// Package serve is the always-on decision daemon: a concurrent session
+// registry mapping chip IDs to engine.Sessions, and the HTTP/JSON
+// service (boreas serve) that feeds it live telemetry observations and
+// returns commanded operating points.
+//
+// This is the deployed shape of the paper's controller: the model
+// trains once, compiles to the flat-tree inference form, and one
+// daemon serves per-chip decisions for a whole fleet — each chip's
+// session created on its first observation, its controller cloned from
+// the template (shared trained artifacts, private scratch), idle
+// sessions evicted on a TTL, the total bounded by a capacity limit.
+// The steady-state Decide path — registry lookup, session decision on
+// the compiled kernel, metrics update — performs zero heap allocations
+// (pinned by TestRegistryDecideZeroAlloc).
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
+	"github.com/hotgauge/boreas/internal/obs"
+	"github.com/hotgauge/boreas/internal/power"
+)
+
+// Defaults for the registry's lifecycle knobs.
+const (
+	// DefaultMaxSessions bounds the live session count.
+	DefaultMaxSessions = 4096
+	// DefaultIdleTTL is how long a chip may go without an observation
+	// before its session is evicted.
+	DefaultIdleTTL = 15 * time.Minute
+)
+
+// RegistryConfig parametrises a session registry.
+type RegistryConfig struct {
+	// Controller is the template controller. Required. Every session
+	// runs on control.CloneController(Controller), so stateful
+	// controllers get private state while trained artifacts (models,
+	// compiled trees, tables) are shared across every chip.
+	Controller control.Controller
+	// VF is the operating curve sessions are built on. The zero value
+	// selects the default Table I curve.
+	VF power.VFCurve
+	// StartFreq is each new session's initial operating frequency in
+	// GHz (0: the curve's maximum).
+	StartFreq float64
+	// MaxSessions bounds the live session count (0: DefaultMaxSessions;
+	// negative is an error). At capacity the least-recently-used
+	// session is evicted to admit a new chip, so the daemon never
+	// refuses a decision.
+	MaxSessions int
+	// IdleTTL evicts sessions that have not decided for this long
+	// (0: DefaultIdleTTL; negative disables idle eviction).
+	IdleTTL time.Duration
+	// Metrics receives the registry's counters (nil: a private Metrics
+	// is created; read it back with Metrics()).
+	Metrics *obs.Metrics
+	// Clock overrides the time source for eviction decisions (nil:
+	// time.Now). Tests inject a fake clock so lifecycle behaviour has
+	// no time-of-day dependence.
+	Clock func() time.Time
+}
+
+// entry is one chip's slot: the session plus the locking and lifecycle
+// state around it. The entry mutex serialises Decide calls per chip
+// (an engine.Session is not safe for concurrent use); the registry's
+// map lock is never held while a session decides.
+type entry struct {
+	mu   sync.Mutex
+	sess *engine.Session
+	// gone marks an entry that was evicted between a map lookup and the
+	// entry lock; the caller re-resolves instead of deciding on a
+	// session no longer in the registry (which would lose the decision
+	// from every stats surface).
+	gone bool
+	// lastUsed is the UnixNano of the last decision (atomic so the
+	// evictor reads it without taking the entry lock).
+	lastUsed atomic.Int64
+	created  time.Time
+}
+
+// Registry is the concurrent session table. All methods are safe for
+// concurrent use.
+type Registry struct {
+	cfg     RegistryConfig
+	clock   func() time.Time
+	metrics *obs.Metrics
+
+	mu       sync.RWMutex
+	sessions map[string]*entry
+}
+
+// NewRegistry validates the config and returns an empty registry.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("serve: registry needs a template controller")
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("serve: negative session capacity %d", cfg.MaxSessions)
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.IdleTTL == 0 {
+		cfg.IdleTTL = DefaultIdleTTL
+	}
+	// Build (and discard) one session now so a bad VF/StartFreq combination
+	// fails at construction time, not on the first request.
+	if _, err := engine.NewSession(engine.SessionConfig{
+		Controller: control.CloneController(cfg.Controller),
+		VF:         cfg.VF,
+		StartFreq:  cfg.StartFreq,
+	}); err != nil {
+		return nil, err
+	}
+	r := &Registry{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		metrics:  cfg.Metrics,
+		sessions: make(map[string]*entry),
+	}
+	if r.clock == nil {
+		r.clock = time.Now
+	}
+	if r.metrics == nil {
+		r.metrics = obs.NewMetrics()
+	}
+	return r, nil
+}
+
+// Metrics returns the registry's counter set.
+func (r *Registry) Metrics() *obs.Metrics { return r.metrics }
+
+// Len returns the live session count.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}
+
+// Decide runs one decision for the chip: the session is created on the
+// chip's first observation and reused afterwards, with Decide calls for
+// the same chip serialised so ticks are strictly monotonic. The
+// steady-state path (session exists) does not allocate.
+func (r *Registry) Decide(chip string, o engine.Observation) (engine.Decision, error) {
+	if chip == "" {
+		return engine.Decision{}, fmt.Errorf("serve: empty chip ID")
+	}
+	if math.IsNaN(o.SensorTemp) || math.IsInf(o.SensorTemp, 0) {
+		// Counters screen themselves inside the controller (PredictChecked
+		// fails safe), but a non-finite sensor in the *request* is a
+		// malformed observation, not telemetry to decide on.
+		return engine.Decision{}, fmt.Errorf("serve: chip %s: non-finite sensor reading %v", chip, o.SensorTemp)
+	}
+	start := r.clock()
+	for {
+		r.mu.RLock()
+		e := r.sessions[chip]
+		r.mu.RUnlock()
+		if e == nil {
+			var err error
+			if e, err = r.create(chip, start); err != nil {
+				return engine.Decision{}, err
+			}
+		}
+		e.mu.Lock()
+		if e.gone {
+			e.mu.Unlock()
+			continue
+		}
+		prev := e.sess.Freq()
+		d := e.sess.Decide(o)
+		now := r.clock()
+		e.lastUsed.Store(now.UnixNano())
+		e.mu.Unlock()
+		r.metrics.RecordDecision(prev, d.Freq, d.Raw != d.Freq, now.Sub(start))
+		return d, nil
+	}
+}
+
+// create inserts a fresh session for the chip, evicting to capacity
+// first. It returns the winning entry even when another goroutine
+// created it concurrently.
+func (r *Registry) create(chip string, now time.Time) (*entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.sessions[chip]; e != nil {
+		return e, nil
+	}
+	r.evictLocked(now)
+	sess, err := engine.NewSession(engine.SessionConfig{
+		Controller: control.CloneController(r.cfg.Controller),
+		VF:         r.cfg.VF,
+		StartFreq:  r.cfg.StartFreq,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: chip %s: %w", chip, err)
+	}
+	e := &entry{sess: sess, created: now}
+	e.lastUsed.Store(now.UnixNano())
+	r.sessions[chip] = e
+	r.metrics.SessionsCreated.Add(1)
+	return e, nil
+}
+
+// evictLocked enforces the capacity bound under r.mu: idle-expired
+// sessions go first; if the registry is still full, the single
+// least-recently-used session is evicted to admit the new chip.
+func (r *Registry) evictLocked(now time.Time) {
+	r.sweepIdleLocked(now)
+	if len(r.sessions) < r.cfg.MaxSessions {
+		return
+	}
+	var victim string
+	oldest := int64(math.MaxInt64)
+	for chip, e := range r.sessions {
+		if lu := e.lastUsed.Load(); lu < oldest || (lu == oldest && chip < victim) {
+			victim, oldest = chip, lu
+		}
+	}
+	if victim != "" {
+		r.dropLocked(victim)
+		r.metrics.EvictedLRU.Add(1)
+	}
+}
+
+// sweepIdleLocked evicts every idle-expired session under r.mu.
+func (r *Registry) sweepIdleLocked(now time.Time) {
+	if r.cfg.IdleTTL < 0 {
+		return
+	}
+	cutoff := now.Add(-r.cfg.IdleTTL).UnixNano()
+	for chip, e := range r.sessions {
+		if e.lastUsed.Load() < cutoff {
+			r.dropLocked(chip)
+			r.metrics.EvictedIdle.Add(1)
+		}
+	}
+}
+
+// dropLocked removes one entry under r.mu, marking it gone under its
+// own lock so an in-flight Decide re-resolves instead of deciding on a
+// zombie. Lock order is always registry.mu then entry.mu.
+func (r *Registry) dropLocked(chip string) {
+	e := r.sessions[chip]
+	delete(r.sessions, chip)
+	e.mu.Lock()
+	e.gone = true
+	e.mu.Unlock()
+}
+
+// Sweep evicts idle-expired sessions; the daemon calls it periodically
+// so idle sessions are reclaimed even with no create traffic.
+func (r *Registry) Sweep() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepIdleLocked(r.clock())
+}
+
+// Evict removes one chip's session (false: no such chip).
+func (r *Registry) Evict(chip string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[chip]; !ok {
+		return false
+	}
+	r.dropLocked(chip)
+	return true
+}
+
+// SessionInfo is one chip's JSON-safe registry snapshot.
+type SessionInfo struct {
+	Chip string `json:"chip"`
+	// Controller names the session's controller.
+	Controller string `json:"controller"`
+	// Freq is the current commanded operating frequency (GHz).
+	Freq float64 `json:"freq_ghz"`
+	// Tick counts decisions made by this session.
+	Tick int `json:"tick"`
+	// Stats are the session's decision diagnostics.
+	Stats engine.Stats `json:"stats"`
+	// CreatedAt / LastDecideAt are RFC3339 wall-clock stamps.
+	CreatedAt    time.Time `json:"created_at"`
+	LastDecideAt time.Time `json:"last_decide_at"`
+}
+
+// Session returns one chip's snapshot (false: no such chip).
+func (r *Registry) Session(chip string) (SessionInfo, bool) {
+	r.mu.RLock()
+	e := r.sessions[chip]
+	r.mu.RUnlock()
+	if e == nil {
+		return SessionInfo{}, false
+	}
+	return r.info(chip, e), true
+}
+
+// Sessions snapshots every live session, sorted by chip ID.
+func (r *Registry) Sessions() []SessionInfo {
+	r.mu.RLock()
+	entries := make(map[string]*entry, len(r.sessions))
+	for chip, e := range r.sessions {
+		entries[chip] = e
+	}
+	r.mu.RUnlock()
+	infos := make([]SessionInfo, 0, len(entries))
+	for chip, e := range entries {
+		infos = append(infos, r.info(chip, e))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Chip < infos[j].Chip })
+	return infos
+}
+
+// info reads one entry's snapshot under its lock.
+func (r *Registry) info(chip string, e *entry) SessionInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return SessionInfo{
+		Chip:         chip,
+		Controller:   e.sess.Name(),
+		Freq:         e.sess.Freq(),
+		Tick:         e.sess.Tick(),
+		Stats:        e.sess.Stats,
+		CreatedAt:    e.created,
+		LastDecideAt: time.Unix(0, e.lastUsed.Load()),
+	}
+}
+
+// Snapshot returns the metrics snapshot with the live session gauge
+// filled in — the one rendering shared by /metrics and the CLIs.
+func (r *Registry) Snapshot() obs.Snapshot {
+	s := r.metrics.Snapshot()
+	s.Sessions = r.Len()
+	return s
+}

@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
+	"github.com/hotgauge/boreas/internal/power"
+)
+
+// fakeClock is an explicitly advanced time source: lifecycle tests have
+// no time-of-day dependence.
+type fakeClock struct{ nanos atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.nanos.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.nanos.Add(int64(d)) }
+
+// countingController is a stateful controller: cloning must give every
+// session its own instance (the clone counter proves the registry
+// clones per session).
+type countingController struct {
+	name   string
+	clones *atomic.Int64
+	// decided counts this instance's decisions; shared instances would
+	// race under -race.
+	decided int
+}
+
+func (c *countingController) Name() string { return c.name }
+func (c *countingController) Reset()       {}
+func (c *countingController) Decide(obs control.Observation) float64 {
+	c.decided++
+	return obs.CurrentFreq
+}
+func (c *countingController) Clone() control.Controller {
+	c.clones.Add(1)
+	return &countingController{name: c.name, clones: c.clones}
+}
+
+func testObservation() engine.Observation {
+	return engine.Observation{SensorTemp: 55}
+}
+
+func newTestRegistry(t *testing.T, mutate func(*RegistryConfig)) (*Registry, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{}
+	cfg := RegistryConfig{
+		Controller: &countingController{name: "hold", clones: &atomic.Int64{}},
+		StartFreq:  3.75,
+		Clock:      clock.now,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, clock
+}
+
+func TestNewRegistryValidates(t *testing.T) {
+	if _, err := NewRegistry(RegistryConfig{}); err == nil {
+		t.Fatal("expected missing-controller error")
+	}
+	if _, err := NewRegistry(RegistryConfig{
+		Controller:  &control.FixedController{ControllerName: "x", Frequency: 3.75},
+		MaxSessions: -1,
+	}); err == nil {
+		t.Fatal("expected negative-capacity error")
+	}
+	// A StartFreq off the VF grid must fail at construction, not on the
+	// first request.
+	if _, err := NewRegistry(RegistryConfig{
+		Controller: &control.FixedController{ControllerName: "x", Frequency: 3.75},
+		StartFreq:  3.33,
+	}); err == nil {
+		t.Fatal("expected off-grid StartFreq error")
+	}
+}
+
+func TestRegistryCreatesAndReuses(t *testing.T) {
+	clones := &atomic.Int64{}
+	r, _ := newTestRegistry(t, func(cfg *RegistryConfig) {
+		cfg.Controller = &countingController{name: "hold", clones: clones}
+	})
+	for i := 0; i < 3; i++ {
+		d, err := r.Decide("chip-a", testObservation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Tick != i {
+			t.Fatalf("decision %d has tick %d", i, d.Tick)
+		}
+	}
+	if _, err := r.Decide("chip-b", testObservation()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	// One clone per session plus the construction-time validation clone.
+	if got := clones.Load(); got != 3 {
+		t.Fatalf("controller cloned %d times, want 3 (validation + 2 sessions)", got)
+	}
+	if _, err := r.Decide("", testObservation()); err == nil {
+		t.Fatal("empty chip ID accepted")
+	}
+	snap := r.Snapshot()
+	if snap.Decisions != 4 || snap.Sessions != 2 || snap.SessionsCreated != 2 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestRegistryRejectsNonFiniteSensor(t *testing.T) {
+	r, _ := newTestRegistry(t, nil)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := r.Decide("chip", engine.Observation{SensorTemp: bad}); err == nil {
+			t.Fatalf("sensor %v accepted", bad)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("rejected observations created sessions")
+	}
+}
+
+func TestRegistryIdleTTLEviction(t *testing.T) {
+	r, clock := newTestRegistry(t, func(cfg *RegistryConfig) {
+		cfg.IdleTTL = time.Minute
+	})
+	mustDecide(t, r, "old")
+	clock.advance(30 * time.Second)
+	mustDecide(t, r, "fresh")
+	clock.advance(45 * time.Second) // old is 75s idle, fresh 45s
+
+	r.Sweep()
+	if r.Len() != 1 {
+		t.Fatalf("Len after sweep = %d, want 1", r.Len())
+	}
+	if _, ok := r.Session("old"); ok {
+		t.Fatal("idle-expired session survived the sweep")
+	}
+	if _, ok := r.Session("fresh"); !ok {
+		t.Fatal("fresh session was evicted")
+	}
+	if snap := r.Snapshot(); snap.EvictedIdle != 1 {
+		t.Fatalf("EvictedIdle = %d, want 1", snap.EvictedIdle)
+	}
+
+	// A re-observed chip gets a fresh session starting at tick 0.
+	d := mustDecide(t, r, "old")
+	if d.Tick != 0 {
+		t.Fatalf("recreated session starts at tick %d, want 0", d.Tick)
+	}
+}
+
+func TestRegistryCapacityLRUEviction(t *testing.T) {
+	r, clock := newTestRegistry(t, func(cfg *RegistryConfig) {
+		cfg.MaxSessions = 2
+	})
+	mustDecide(t, r, "a")
+	clock.advance(time.Second)
+	mustDecide(t, r, "b")
+	clock.advance(time.Second)
+	mustDecide(t, r, "c") // at capacity: evicts a (least recently used)
+
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity bound 2", r.Len())
+	}
+	if _, ok := r.Session("a"); ok {
+		t.Fatal("LRU session a survived past capacity")
+	}
+	for _, chip := range []string{"b", "c"} {
+		if _, ok := r.Session(chip); !ok {
+			t.Fatalf("session %s missing", chip)
+		}
+	}
+	if snap := r.Snapshot(); snap.EvictedLRU != 1 {
+		t.Fatalf("EvictedLRU = %d, want 1", snap.EvictedLRU)
+	}
+}
+
+func mustDecide(t *testing.T, r *Registry, chip string) engine.Decision {
+	t.Helper()
+	d, err := r.Decide(chip, testObservation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRegistryConcurrentHammer drives the registry from many goroutines
+// with create/decide/evict interleaved (run under -race in the tier-1
+// gate). The invariants:
+//
+//   - per chip, the multiset of observed ticks is a union of prefixes
+//     0..k (each session generation hands out consecutive ticks from 0),
+//     so the count of tick t is never smaller than the count of t+1;
+//   - no decision is lost: the decision counter equals the number of
+//     successful Decide returns.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r, _ := newTestRegistry(t, nil)
+	const (
+		goroutines = 12
+		perG       = 300
+		chips      = 7
+	)
+	type obsTick struct {
+		chip string
+		tick int
+	}
+	results := make([][]obsTick, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			recs := make([]obsTick, 0, perG)
+			for i := 0; i < perG; i++ {
+				chip := fmt.Sprintf("chip-%d", (g+i)%chips)
+				if g == 0 && i%50 == 25 {
+					r.Evict(chip)
+					continue
+				}
+				d, err := r.Decide(chip, testObservation())
+				if err != nil {
+					t.Errorf("decide %s: %v", chip, err)
+					return
+				}
+				recs = append(recs, obsTick{chip, d.Tick})
+			}
+			results[g] = recs
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	byChip := map[string]map[int]int{}
+	for _, recs := range results {
+		total += len(recs)
+		for _, rec := range recs {
+			m := byChip[rec.chip]
+			if m == nil {
+				m = map[int]int{}
+				byChip[rec.chip] = m
+			}
+			m[rec.tick]++
+		}
+	}
+	for chip, m := range byChip {
+		for tick, n := range m {
+			if next := m[tick+1]; next > n {
+				t.Fatalf("chip %s: tick %d seen %d times but tick %d seen %d — ticks are not prefix-monotonic",
+					chip, tick, n, tick+1, next)
+			}
+		}
+	}
+	if got := r.Snapshot().Decisions; got != uint64(total) {
+		t.Fatalf("metrics count %d decisions, %d were returned — decisions were lost", got, total)
+	}
+}
+
+// TestRegistryDecideZeroAlloc pins the steady-state decide path at zero
+// heap allocations per call once the session exists.
+func TestRegistryDecideZeroAlloc(t *testing.T) {
+	table := &control.CriticalTemps{Global: map[float64]float64{}}
+	for _, f := range power.DefaultVF().FrequencySteps() {
+		table.Global[f] = 80
+	}
+	r, _ := newTestRegistry(t, func(cfg *RegistryConfig) {
+		cfg.Controller = control.NewThermalController(table, 0)
+	})
+	o := testObservation()
+	mustDecide(t, r, "chip-0") // create outside the measured window
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.Decide("chip-0", o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Registry.Decide allocates %.1f objects per call, want 0", allocs)
+	}
+}
