@@ -11,7 +11,7 @@ GO ?= go
 GOFMT ?= gofmt
 SCENARIO := examples/platforms/mobile-7nm.json
 
-.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke serve-smoke ci bench bench-parallel bench-trace bench-gbt bench-engine bench-serve clean
+.PHONY: all fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke serve-smoke loadtest-smoke ci bench bench-parallel bench-trace bench-gbt bench-engine bench-serve bench-loadtest clean
 
 all: build
 
@@ -35,9 +35,12 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# 10-second fuzz smoke: LoadModel must never panic on arbitrary bytes.
+# 10-second fuzz smokes over the two parsers that eat externally
+# supplied bytes: the model deserializer and the daemon's decide
+# endpoint (which must answer 200 or 400, never panic or 500).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadModel -fuzztime=10s ./internal/ml/gbt
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeDecideRequest -fuzztime=10s ./internal/serve
 
 # One-iteration smoke of the trace-layer benchmark: catches alloc
 # regressions on the streaming path without paying full bench time.
@@ -102,7 +105,21 @@ serve-smoke:
 	[ $$code -eq 0 ] || fail "exit $$code after SIGTERM, want 0"; \
 	rm -f smoke_serve smoke_serve.log; echo "serve smoke: healthz + batched decide + metrics + graceful SIGTERM, as intended"
 
-ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke serve-smoke
+# Load-replay smoke: the harness boots a private in-process daemon,
+# serves ~200 decisions across 2 synthetic chips, and must report zero
+# oracle divergences (any divergence exits 1). It runs twice - serial
+# and heavily batched/concurrent - and the two replay sections must be
+# byte-identical, pinning the determinism contract the way CI sees it.
+loadtest-smoke:
+	@$(GO) build -o smoke_loadtest ./cmd/boreas; \
+	fail() { echo "loadtest smoke: $$1"; rm -f smoke_loadtest smoke_replay_a.json smoke_replay_b.json; exit 1; }; \
+	./smoke_loadtest loadtest -chips 2 -ticks 100 -seed 7 -inflight 1 -j 1 -replay-out smoke_replay_a.json > /dev/null || fail "serial run failed (oracle divergence or error)"; \
+	./smoke_loadtest loadtest -chips 2 -ticks 100 -seed 7 -batch 1 -inflight 4 -replay-out smoke_replay_b.json > /dev/null || fail "concurrent run failed (oracle divergence or error)"; \
+	cmp -s smoke_replay_a.json smoke_replay_b.json || fail "replay sections differ across concurrency"; \
+	rm -f smoke_loadtest smoke_replay_a.json smoke_replay_b.json; \
+	echo "loadtest smoke: 200 decisions, 0 divergences, byte-identical replay across concurrency, as intended"
+
+ci: fmt-check build vet test race fuzz-smoke bench-trace-smoke bench-gbt-smoke bench-engine-smoke smoke soak-smoke serve-smoke loadtest-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -129,6 +146,16 @@ bench-engine:
 # batched HTTP decide throughput; steady-state allocs per op).
 bench-serve:
 	BENCH_SERVE=1 $(GO) test -run TestWriteBenchServeArtefact -timeout 30m -v .
+
+# Refresh BENCH_loadtest.json: a full load-replay run against an
+# in-process daemon (16 chips x 50 ticks), whose JSON report carries the
+# latency percentile table, throughput, and the replay digest.
+bench-loadtest:
+	@$(GO) build -o bench_loadtest ./cmd/boreas; \
+	./bench_loadtest loadtest -chips 16 -ticks 50 -seed 1 -out BENCH_loadtest.json > /dev/null; \
+	code=$$?; rm -f bench_loadtest; \
+	if [ $$code -ne 0 ]; then echo "bench-loadtest: exit $$code"; exit 1; fi; \
+	echo "bench-loadtest: wrote BENCH_loadtest.json"
 
 clean:
 	$(GO) clean ./...

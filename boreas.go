@@ -42,6 +42,7 @@ import (
 	"github.com/hotgauge/boreas/internal/experiments"
 	"github.com/hotgauge/boreas/internal/faults"
 	"github.com/hotgauge/boreas/internal/hotspot"
+	"github.com/hotgauge/boreas/internal/loadgen"
 	"github.com/hotgauge/boreas/internal/ml/gbt"
 	"github.com/hotgauge/boreas/internal/obs"
 	"github.com/hotgauge/boreas/internal/platform"
@@ -517,6 +518,50 @@ func NewServeHandler(reg *DecisionRegistry) http.Handler { return serve.NewHandl
 
 // NewMetrics returns a Metrics with the default latency buckets.
 func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// Load-replay harness. RunLoadTest drives a decision daemon with a
+// deterministic synthetic fleet (one decorrelated simulator clone per
+// chip), records request latency into an HDR histogram, and diffs every
+// served decision bit-for-bit against an in-process oracle session. The
+// report splits into a Replay section that is byte-identical for one
+// seed at any batching/concurrency, and a Timing section that carries
+// the wall-clock numbers (`boreas loadtest`).
+type (
+	// LoadTestConfig parametrises one load-replay run.
+	LoadTestConfig = loadgen.Config
+	// LoadTestReport is the full harness report (Replay + Timing).
+	LoadTestReport = loadgen.Report
+	// LoadTestReplay is the deterministic replay section of the report.
+	LoadTestReplay = loadgen.ReplayReport
+	// LoadTestTiming is the nondeterministic timing section of the report.
+	LoadTestTiming = loadgen.TimingReport
+	// LoadTestDivergence pinpoints one oracle mismatch (chip, tick, field).
+	LoadTestDivergence = loadgen.Divergence
+	// HDRLatencyHistogram is the log-linear latency histogram the harness
+	// records into (≤1.6% relative error, mergeable snapshots).
+	HDRLatencyHistogram = obs.HDRHistogram
+	// HDRLatencySnapshot is a point-in-time HDRLatencyHistogram state.
+	HDRLatencySnapshot = obs.HDRSnapshot
+)
+
+// RunLoadTest runs the load-replay harness against cfg.Addr, or against
+// a private in-process daemon when cfg.Addr is empty. It returns a
+// non-nil report whose Replay.Divergences counts served decisions that
+// did not match the oracle (0 = the daemon is bit-faithful).
+func RunLoadTest(ctx context.Context, cfg LoadTestConfig) (*LoadTestReport, error) {
+	return loadgen.Run(ctx, cfg)
+}
+
+// NewSyntheticThermalController builds the harness's default traffic
+// controller: a graded thermal-threshold table over the platform's VF
+// steps, so synthetic load keeps the operating point moving.
+func NewSyntheticThermalController(pf *Platform) Controller {
+	return loadgen.SyntheticThermalController(pf)
+}
+
+// NewHDRHistogram returns an empty concurrent-safe HDR latency
+// histogram.
+func NewHDRHistogram() *HDRLatencyHistogram { return obs.NewHDRHistogram() }
 
 // Crash-safe campaigns. A Checkpoint is a content-addressed artifact
 // store: every completed campaign cell (dataset fragment, trained model,

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hotgauge/boreas/internal/atomicio"
+	"github.com/hotgauge/boreas/internal/cliutil"
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/engine"
+	"github.com/hotgauge/boreas/internal/loadgen"
+	"github.com/hotgauge/boreas/internal/platform"
+	"github.com/hotgauge/boreas/internal/runner"
+	"github.com/hotgauge/boreas/internal/serve"
+)
+
+// runLoadtest is the `boreas loadtest` subcommand: the deterministic
+// load-replay harness for the decision daemon.
+//
+//	boreas loadtest -chips 8 -ticks 50                     # self-contained: in-process server
+//	boreas loadtest -addr 127.0.0.1:8080 -chips 64 -qps 500
+//	boreas loadtest -chips 4 -ticks 100 -batch 1 -inflight 4 -report json
+//	boreas loadtest -model boreas.gbt -guardband 0.05 -chips 16 -ticks 25
+//
+// The harness simulates -chips decorrelated chips, serves every
+// decision over HTTP, diffs each one against an in-process oracle
+// session, and reports throughput, the latency percentile table, and
+// the divergence count. Exit is 0 only when the oracle diff is clean;
+// any divergence exits 1, so scripts can gate on decision fidelity.
+// With the in-process server (-addr empty) and a fixed -ticks, the
+// replay section (-replay-out) is byte-identical for one -seed at any
+// -batch/-inflight/-qps/-j.
+func runLoadtest(args []string) {
+	fs := flag.NewFlagSet("boreas loadtest", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "", "address of the daemon to drive (host:port); empty boots a private in-process server")
+		pfArg     = fs.String("platform", "skylake-7nm", "platform: a registered name or a scenario .json file")
+		modelPath = fs.String("model", "", "trained model file; empty uses a synthetic thermal controller that keeps the operating point moving")
+		guardband = fs.Float64("guardband", 0.05, "ML controller guardband (severity margin), used with -model")
+		start     = fs.Float64("start", 0, "initial operating frequency in GHz (0 = the engine default)")
+		chips     = fs.Int("chips", 8, "synthetic fleet size (one simulator clone per chip)")
+		ticks     = fs.Int("ticks", 25, "decisions per chip; the replay guarantee holds for tick-bounded runs")
+		batch     = fs.Int("batch", 0, fmt.Sprintf("observations per request, up to %d (0 = all chips of a round in one request)", serve.MaxBatch))
+		inflight  = fs.Int("inflight", 0, "max concurrent requests, closed-loop arrival (0 = a whole round in flight)")
+		qps       = fs.Float64("qps", 0, "target request rate, open-loop arrival (0 = unpaced)")
+		duration  = fs.Duration("duration", 0, "also stop at the first round boundary past this wall-clock budget (0 = -ticks only)")
+		seed      = fs.Uint64("seed", 1, "base seed; chip i simulates with a seed derived from it")
+		workers   = fs.Int("j", runner.DefaultWorkers(), "simulator-advance parallelism; replay output is identical at any -j")
+		report    = fs.String("report", "text", "report format on stdout: text | json")
+		out       = fs.String("out", "", "also write the full JSON report to this file")
+		replayOut = fs.String("replay-out", "", "also write the deterministic replay section (JSON) to this file")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		cliutil.FatalUsage("boreas loadtest", fmt.Errorf("unexpected argument %q", fs.Arg(0)))
+	}
+	if err := cliutil.CheckPositive("chips", *chips); err != nil {
+		cliutil.FatalUsage("boreas loadtest", err)
+	}
+	if err := cliutil.CheckPositive("ticks", *ticks); err != nil {
+		cliutil.FatalUsage("boreas loadtest", err)
+	}
+	if err := cliutil.CheckPositive("j", *workers); err != nil {
+		cliutil.FatalUsage("boreas loadtest", err)
+	}
+	if err := cliutil.CheckNonNegative("qps", *qps); err != nil {
+		cliutil.FatalUsage("boreas loadtest", err)
+	}
+	if err := cliutil.CheckNonNegative("guardband", *guardband); err != nil {
+		cliutil.FatalUsage("boreas loadtest", err)
+	}
+	if *batch < 0 || *batch > serve.MaxBatch {
+		cliutil.FatalUsage("boreas loadtest", fmt.Errorf("flag -batch must be in [0, %d] (got %d)", serve.MaxBatch, *batch))
+	}
+	if *inflight < 0 {
+		cliutil.FatalUsage("boreas loadtest", fmt.Errorf("flag -inflight must be non-negative (got %d)", *inflight))
+	}
+	if *report != "text" && *report != "json" {
+		cliutil.FatalUsage("boreas loadtest", fmt.Errorf("flag -report must be text or json (got %q)", *report))
+	}
+
+	pf, err := platform.Resolve(*pfArg)
+	if err != nil {
+		fatal(err)
+	}
+	var ctrl control.Controller
+	if *modelPath == "" {
+		ctrl = loadgen.SyntheticThermalController(pf)
+	} else {
+		if ctrl, _, err = serveController(pf, *modelPath, *guardband); err != nil {
+			fatal(err)
+		}
+	}
+
+	ck := &cliutil.Options{}
+	ctx, stop := ck.Context()
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Addr:        *addr,
+		Platform:    pf,
+		Controller:  ctrl,
+		Chips:       *chips,
+		Ticks:       *ticks,
+		Duration:    *duration,
+		Batch:       *batch,
+		MaxInflight: *inflight,
+		TargetQPS:   *qps,
+		Seed:        *seed,
+		Loop:        engine.LoopConfig{StartFreq: *start},
+		Workers:     *workers,
+	})
+	if err != nil {
+		cliutil.Fatal("boreas loadtest", err, "")
+	}
+
+	if *report == "json" {
+		b, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if *out != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := atomicio.WriteFile(*out, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *replayOut != "" {
+		b, err := rep.Replay.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := atomicio.WriteFile(*replayOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if rep.Replay.Divergences > 0 {
+		fmt.Fprintf(os.Stderr, "boreas loadtest: %d oracle divergences — served decisions do not match in-process sessions\n",
+			rep.Replay.Divergences)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestLoadtestSmoke is the end-to-end harness contract: a tick-bounded
+// in-process run exits 0, reports zero divergences, and writes a replay
+// section that is byte-identical across batching and concurrency
+// choices for one seed.
+func TestLoadtestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildBoreas(t)
+	dir := t.TempDir()
+
+	run := func(name string, extra ...string) []byte {
+		t.Helper()
+		replay := filepath.Join(dir, name+".json")
+		args := append([]string{
+			"loadtest", "-chips", "2", "-ticks", "4", "-seed", "11",
+			"-report", "json", "-replay-out", replay,
+		}, extra...)
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("loadtest %v: %v\n%s", extra, err, out)
+		}
+		b, err := os.ReadFile(replay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	base := run("base")
+	batched := run("batched", "-batch", "1", "-inflight", "2")
+	serial := run("serial", "-inflight", "1", "-j", "1")
+	if !bytes.Equal(base, batched) || !bytes.Equal(base, serial) {
+		t.Fatalf("replay sections differ across batching/concurrency:\nbase:\n%s\nbatched:\n%s\nserial:\n%s",
+			base, batched, serial)
+	}
+
+	var replay struct {
+		Decisions   int    `json:"decisions"`
+		Divergences int    `json:"divergences"`
+		Digest      string `json:"digest"`
+	}
+	if err := json.Unmarshal(base, &replay); err != nil {
+		t.Fatalf("decoding replay %s: %v", base, err)
+	}
+	if replay.Decisions != 2*4 {
+		t.Fatalf("decisions = %d, want 8", replay.Decisions)
+	}
+	if replay.Divergences != 0 {
+		t.Fatalf("divergences = %d, want 0", replay.Divergences)
+	}
+	if replay.Digest == "" {
+		t.Fatal("replay digest missing")
+	}
+}
+
+// TestLoadtestDetectsDivergenceEndToEnd points the harness at a real
+// daemon that serves a different policy (fixed-max, no -model) than the
+// harness oracle (the synthetic thermal controller): every divergence
+// must be counted and the run must exit 1, so scripts gate on fidelity.
+func TestLoadtestDetectsDivergenceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildBoreas(t)
+
+	daemon := exec.Command(bin, "serve", "-addr", "127.0.0.1:0")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatal("no startup line")
+	}
+	i := strings.Index(sc.Text(), "listening on ")
+	if i < 0 {
+		t.Fatalf("startup line %q", sc.Text())
+	}
+	addr := strings.TrimSpace(sc.Text()[i+len("listening on "):])
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	var output bytes.Buffer
+	lt := exec.Command(bin, "loadtest", "-addr", addr, "-chips", "2", "-ticks", "3")
+	lt.Stdout, lt.Stderr = &output, &output
+	err = lt.Run()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected divergence exit, got %v; output:\n%s", err, output.String())
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, output.String())
+	}
+	if !strings.Contains(output.String(), "divergence") {
+		t.Fatalf("output does not mention divergences:\n%s", output.String())
+	}
+
+	daemon.Process.Signal(syscall.SIGTERM)
+	daemon.Wait()
+}

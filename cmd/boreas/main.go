@@ -50,6 +50,10 @@ func main() {
 		runServe(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "loadtest" {
+		runLoadtest(os.Args[2:])
+		return
+	}
 	var (
 		expr    = flag.String("experiment", "all", "experiment to run: all | "+strings.Join(experimentNames, " | "))
 		quick   = flag.Bool("quick", false, "use the reduced campaign (seconds instead of minutes)")

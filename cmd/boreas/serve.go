@@ -53,8 +53,8 @@ func runServe(args []string) {
 	if err := cliutil.CheckPositive("max-sessions", *maxSessions); err != nil {
 		cliutil.FatalUsage("boreas serve", err)
 	}
-	if *guardband < 0 {
-		cliutil.FatalUsage("boreas serve", fmt.Errorf("flag -guardband must be non-negative (got %v)", *guardband))
+	if err := cliutil.CheckNonNegative("guardband", *guardband); err != nil {
+		cliutil.FatalUsage("boreas serve", err)
 	}
 
 	pf, err := platform.Resolve(*pfArg)

@@ -155,6 +155,11 @@ func TestFlagValidationExitsUsage(t *testing.T) {
 		{"negative workers", []string{"-quick", "-experiment", "table1", "-j", "-2"}, "-j"},
 		{"zero chips", []string{"-quick", "-experiment", "fleet", "-chips", "0"}, "-chips"},
 		{"negative serve capacity", []string{"serve", "-addr", "127.0.0.1:0", "-max-sessions", "-1"}, "-max-sessions"},
+		{"zero loadtest chips", []string{"loadtest", "-chips", "0"}, "-chips"},
+		{"zero loadtest ticks", []string{"loadtest", "-ticks", "0"}, "-ticks"},
+		{"negative loadtest qps", []string{"loadtest", "-qps", "-5"}, "-qps"},
+		{"oversized loadtest batch", []string{"loadtest", "-batch", "1000000"}, "-batch"},
+		{"bad loadtest report", []string{"loadtest", "-report", "xml"}, "-report"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

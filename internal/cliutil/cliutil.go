@@ -12,6 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"syscall"
@@ -103,6 +104,17 @@ const ExitUsage = 2
 func CheckPositive(name string, v int) error {
 	if v <= 0 {
 		return fmt.Errorf("flag -%s must be a positive integer (got %d)", name, v)
+	}
+	return nil
+}
+
+// CheckNonNegative returns a usage error unless v is a finite,
+// non-negative number. CLIs run it on magnitude flags (-guardband,
+// -qps) after parsing, so "-qps -5" or "-guardband NaN" fails with a
+// message naming the flag instead of misconfiguring the run.
+func CheckNonNegative(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("flag -%s must be a non-negative finite number (got %v)", name, v)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,6 +89,23 @@ func TestCheckPositive(t *testing.T) {
 		// The message must name the flag and the offending value so the
 		// user can fix the invocation without reading source.
 		if msg := err.Error(); !strings.Contains(msg, "-chips") || !strings.Contains(msg, fmt.Sprint(v)) {
+			t.Fatalf("undescriptive usage error %q", msg)
+		}
+	}
+}
+
+func TestCheckNonNegative(t *testing.T) {
+	for _, v := range []float64{0, 0.05, 1e6} {
+		if err := CheckNonNegative("guardband", v); err != nil {
+			t.Fatalf("CheckNonNegative(guardband, %v) rejected: %v", v, err)
+		}
+	}
+	for _, v := range []float64{-0.01, -5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := CheckNonNegative("qps", v)
+		if err == nil {
+			t.Fatalf("CheckNonNegative(qps, %v) accepted", v)
+		}
+		if msg := err.Error(); !strings.Contains(msg, "-qps") {
 			t.Fatalf("undescriptive usage error %q", msg)
 		}
 	}

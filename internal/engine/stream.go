@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/hotgauge/boreas/internal/sim"
+	"github.com/hotgauge/boreas/internal/workload"
+)
+
+// ChipStream is the incremental form of a closed-loop run: where RunLoop
+// owns both sides of the loop (simulate a decision interval, decide,
+// apply), a ChipStream owns only the chip. The caller advances it one
+// decision interval at a time with Next, receives the telemetry a real
+// chip would report at that decision boundary, obtains a frequency from
+// wherever it likes — an in-process Session, an HTTP decision daemon, a
+// replayed log — and feeds it back into the next Next call. That
+// inversion is what lets the load-replay harness put a network between
+// the chip and its controller while the telemetry stream stays
+// bit-identical to RunLoop's (TestChipStreamMatchesRunLoop pins it).
+//
+// A ChipStream is stateful and not safe for concurrent use: run
+// concurrent chips on separate streams over cloned pipelines, exactly
+// like RunFleet shards sessions.
+type ChipStream struct {
+	p       *sim.Pipeline
+	run     *workload.Run
+	period  int
+	sensor  int
+	scratch sim.StepResult
+
+	steps        int
+	sumFreq      float64
+	peakSeverity float64
+	peakMLTD     float64
+	incursions   int
+}
+
+// StreamSummary aggregates what a ChipStream has simulated so far, with
+// the same arithmetic (and therefore bit-identical values) as the
+// corresponding LoopResult fields.
+type StreamSummary struct {
+	// Workload is the workload the stream is running.
+	Workload string
+	// Steps counts the 80 us timesteps executed so far.
+	Steps int
+	// AvgFreq is the time-average commanded frequency in GHz.
+	AvgFreq float64
+	// PeakSeverity is the maximum ground-truth severity so far.
+	PeakSeverity float64
+	// PeakMLTD is the maximum ground-truth local gradient (C) so far.
+	PeakMLTD float64
+	// Incursions counts timesteps with severity >= 1.0.
+	Incursions int
+}
+
+// NewChipStream warm-starts the pipeline at cfg.StartFreq and positions
+// a stream at step zero. cfg.Steps is ignored — a stream is open-ended,
+// the caller decides how many intervals to run — but every other
+// LoopConfig field keeps its RunLoop meaning. The pipeline is owned by
+// the stream until the stream is abandoned.
+func NewChipStream(p *sim.Pipeline, w *workload.Workload, cfg LoopConfig) (*ChipStream, error) {
+	if cfg.VF.IsZero() {
+		cfg.VF = p.VF()
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = cfg.DecisionPeriod
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SensorIndex >= p.NumSensors() {
+		return nil, fmt.Errorf("engine: sensor index %d out of range", cfg.SensorIndex)
+	}
+	if cfg.SensorTap != nil || cfg.CounterTap != nil {
+		return nil, fmt.Errorf("engine: fault taps are not supported on a ChipStream")
+	}
+	if err := p.WarmStart(w, cfg.StartFreq); err != nil {
+		return nil, err
+	}
+	return &ChipStream{
+		p:      p,
+		run:    w.NewRun(p.Config().Seed),
+		period: cfg.DecisionPeriod,
+		sensor: cfg.SensorIndex,
+	}, nil
+}
+
+// Advance executes steps timesteps at the commanded frequency and
+// returns the observation a controller would receive at the last of
+// them: the step's counters and the delayed reading of the configured
+// sensor. Aggregates (Summary) fold in every executed step.
+func (cs *ChipStream) Advance(freq float64, steps int) (Observation, error) {
+	if steps <= 0 {
+		return Observation{}, fmt.Errorf("engine: stream advance needs a positive step count, got %d", steps)
+	}
+	for i := 0; i < steps; i++ {
+		if err := cs.p.StepInto(cs.run, freq, &cs.scratch); err != nil {
+			return Observation{}, err
+		}
+		cs.steps++
+		cs.sumFreq += freq
+		if cs.scratch.Severity.Max > cs.peakSeverity {
+			cs.peakSeverity = cs.scratch.Severity.Max
+		}
+		if cs.scratch.Severity.MaxMLTD > cs.peakMLTD {
+			cs.peakMLTD = cs.scratch.Severity.MaxMLTD
+		}
+		if cs.scratch.Severity.Max >= 1.0 {
+			cs.incursions++
+		}
+	}
+	return Observation{
+		Counters:   cs.scratch.Counters,
+		SensorTemp: cs.scratch.SensorDelayed[cs.sensor],
+	}, nil
+}
+
+// Next advances one full decision interval (DecisionPeriod timesteps) at
+// the commanded frequency and returns the boundary observation.
+func (cs *ChipStream) Next(freq float64) (Observation, error) {
+	return cs.Advance(freq, cs.period)
+}
+
+// Steps returns the number of timesteps executed so far.
+func (cs *ChipStream) Steps() int { return cs.steps }
+
+// Summary reduces the stream's history to its aggregate scores.
+func (cs *ChipStream) Summary() StreamSummary {
+	s := StreamSummary{
+		Workload:     cs.run.Workload().Name,
+		Steps:        cs.steps,
+		PeakSeverity: cs.peakSeverity,
+		PeakMLTD:     cs.peakMLTD,
+		Incursions:   cs.incursions,
+	}
+	if cs.steps > 0 {
+		s.AvgFreq = cs.sumFreq / float64(cs.steps)
+	}
+	return s
+}

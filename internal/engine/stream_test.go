@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/sim"
+)
+
+// gradedTable builds a thermal table whose threshold falls linearly with
+// frequency (95C at the bottom step down to 65C at the top), so a TH
+// controller over it actually moves the operating point instead of
+// pinning at one end — the equivalence test must exercise a changing
+// frequency trajectory.
+func gradedTable(p *sim.Pipeline) *control.CriticalTemps {
+	steps := p.VF().FrequencySteps()
+	table := &control.CriticalTemps{Global: map[float64]float64{}}
+	for i, f := range steps {
+		frac := 0.0
+		if len(steps) > 1 {
+			frac = float64(i) / float64(len(steps)-1)
+		}
+		table.Global[f] = 95 - 30*frac
+	}
+	return table
+}
+
+// TestChipStreamMatchesRunLoop pins the stream's core contract: driving
+// a ChipStream externally with a Session — the exact decomposition the
+// load-replay harness performs with an HTTP daemon in the middle — is
+// bit-identical to RunLoop on the same pipeline seed: same aggregate
+// scores, same decision stats, down to float equality.
+func TestChipStreamMatchesRunLoop(t *testing.T) {
+	p := fastSim(t)
+	table := gradedTable(p)
+	w, err := p.Workloads().ByName("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 60 // 4 decisions at period 12, plus a 12-step tail
+
+	ref, err := RunLoop(p, w, control.NewThermalController(table, 0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trajectory must actually move, or the equivalence is vacuous.
+	if ref.Stats.Throttles+ref.Stats.Climbs == 0 {
+		t.Fatalf("reference trajectory never moved: %+v", ref.Stats)
+	}
+
+	// Same pipeline: NewChipStream warm-starts from scratch, so the
+	// stream replays the identical run.
+	cs, err := NewChipStream(p, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(SessionConfig{
+		Controller: control.NewThermalController(table, 0),
+		VF:         p.VF(),
+		StartFreq:  cfg.StartFreq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions := (cfg.Steps - 1) / cfg.DecisionPeriod
+	freq := cfg.StartFreq
+	for k := 0; k < decisions; k++ {
+		obs, err := cs.Next(freq)
+		if err != nil {
+			t.Fatalf("tick %d: %v", k, err)
+		}
+		freq = sess.Decide(obs).Freq
+	}
+	if tail := cfg.Steps - decisions*cfg.DecisionPeriod; tail > 0 {
+		if _, err := cs.Advance(freq, tail); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sum := cs.Summary()
+	if sum.Steps != cfg.Steps {
+		t.Fatalf("stream ran %d steps, want %d", sum.Steps, cfg.Steps)
+	}
+	if sum.Workload != ref.Workload {
+		t.Fatalf("workload %q, want %q", sum.Workload, ref.Workload)
+	}
+	if sum.AvgFreq != ref.AvgFreq {
+		t.Fatalf("AvgFreq %v != RunLoop %v", sum.AvgFreq, ref.AvgFreq)
+	}
+	if sum.PeakSeverity != ref.PeakSeverity {
+		t.Fatalf("PeakSeverity %v != RunLoop %v", sum.PeakSeverity, ref.PeakSeverity)
+	}
+	if sum.PeakMLTD != ref.PeakMLTD {
+		t.Fatalf("PeakMLTD %v != RunLoop %v", sum.PeakMLTD, ref.PeakMLTD)
+	}
+	if sum.Incursions != ref.Incursions {
+		t.Fatalf("Incursions %d != RunLoop %d", sum.Incursions, ref.Incursions)
+	}
+	if sess.Stats != ref.Stats {
+		t.Fatalf("Stats %+v != RunLoop %+v", sess.Stats, ref.Stats)
+	}
+}
+
+// TestChipStreamOpenEnded pins that a stream is not bound by
+// LoopConfig.Steps: a zero-Steps config validates, and the stream keeps
+// producing intervals for as long as the caller asks.
+func TestChipStreamOpenEnded(t *testing.T) {
+	p := fastSim(t)
+	w, err := p.Workloads().ByName("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultLoopConfig()
+	cfg.Steps = 0
+	cs, err := NewChipStream(p, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ { // 240 steps, past the default 150
+		if _, err := cs.Next(cfg.StartFreq); err != nil {
+			t.Fatalf("tick %d: %v", k, err)
+		}
+	}
+	if got := cs.Steps(); got != 20*cfg.DecisionPeriod {
+		t.Fatalf("Steps = %d, want %d", got, 20*cfg.DecisionPeriod)
+	}
+}
+
+func TestChipStreamErrors(t *testing.T) {
+	p := fastSim(t)
+	w, err := p.Workloads().ByName("gamess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultLoopConfig()
+	bad.StartFreq = 3.83
+	if _, err := NewChipStream(p, w, bad); err == nil {
+		t.Fatal("expected StartFreq error")
+	}
+	bad = DefaultLoopConfig()
+	bad.SensorIndex = 99
+	if _, err := NewChipStream(p, w, bad); err == nil {
+		t.Fatal("expected sensor range error")
+	}
+	cs, err := NewChipStream(p, w, DefaultLoopConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Advance(3.75, 0); err == nil {
+		t.Fatal("expected non-positive step error")
+	}
+}

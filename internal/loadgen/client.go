@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"github.com/hotgauge/boreas/internal/engine"
+	"github.com/hotgauge/boreas/internal/serve"
+)
+
+// loadClient posts decide requests to one daemon, speaking the serve
+// package's own wire types so the harness and the handler can never
+// disagree about the format.
+type loadClient struct {
+	client *http.Client
+	url    string
+}
+
+func newLoadClient(client *http.Client, addr string) *loadClient {
+	return &loadClient{client: client, url: "http://" + addr + "/v1/decide"}
+}
+
+// decide sends one batched /v1/decide request for the chips (in slice
+// order) and returns the daemon's decisions, one per chip.
+func (lc *loadClient) decide(ctx context.Context, chips []*chip) ([]serve.Decision, error) {
+	req := serve.DecideRequest{Batch: make([]serve.DecideItem, len(chips))}
+	for i, c := range chips {
+		req.Batch[i] = serve.DecideItem{
+			Chip: c.id,
+			Observation: serve.Observation{
+				SensorTemp: c.obs.SensorTemp,
+				Counters:   c.obs.Counters,
+			},
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, lc.url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := lc.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: POST /v1/decide: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /v1/decide returned %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	var out serve.DecideResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding response: %w", err)
+	}
+	if len(out.Decisions) != len(chips) {
+		return nil, fmt.Errorf("loadgen: daemon answered %d decisions for a %d-chip batch", len(out.Decisions), len(chips))
+	}
+	return out.Decisions, nil
+}
+
+// inProcServer is the self-contained target: a private decision daemon
+// on a loopback port, built from the run's own controller template so
+// the oracle diff must come out clean.
+type inProcServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// startInProcess boots the private daemon. Capacity is sized above the
+// fleet so LRU eviction can never reset a chip's session mid-run —
+// which would restart its ticks and show up as a false divergence.
+func startInProcess(cfg Config, loop engine.LoopConfig) (*inProcServer, error) {
+	maxSessions := serve.DefaultMaxSessions
+	if cfg.Chips >= maxSessions {
+		maxSessions = cfg.Chips + 1
+	}
+	reg, err := serve.NewRegistry(serve.RegistryConfig{
+		Controller:  cfg.Controller,
+		VF:          loop.VF,
+		StartFreq:   loop.StartFreq,
+		MaxSessions: maxSessions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: in-process registry: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: in-process listener: %w", err)
+	}
+	s := &inProcServer{srv: &http.Server{Handler: serve.NewHandler(reg)}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the resolved loopback address.
+func (s *inProcServer) Addr() string { return s.ln.Addr().String() }
+
+// Close tears the private daemon down.
+func (s *inProcServer) Close() { s.srv.Close() }

@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"strings"
+
+	"github.com/hotgauge/boreas/internal/obs"
+	"github.com/hotgauge/boreas/internal/serve"
+)
+
+// Report is one load-replay run's outcome, split along the determinism
+// boundary: Replay is a pure function of (platform, controller, chips,
+// ticks, seed) and is byte-identical at any batch size, inflight bound,
+// QPS target or worker count; Timing is the wall-clock measurement and
+// differs run to run by nature.
+type Report struct {
+	Replay ReplayReport `json:"replay"`
+	Timing TimingReport `json:"timing"`
+}
+
+// ReplayReport is the deterministic section: what was decided and
+// whether it matched the oracle.
+type ReplayReport struct {
+	// Platform and Controller label the run.
+	Platform   string `json:"platform"`
+	Controller string `json:"controller"`
+	// Chips, Ticks and Seed reproduce the run: same triple, same report.
+	Chips int    `json:"chips"`
+	Ticks int    `json:"ticks"`
+	Seed  uint64 `json:"seed"`
+	// Decisions counts served decisions (= Chips * Ticks).
+	Decisions int `json:"decisions"`
+	// Divergences counts decisions that differed from the shadow oracle
+	// in any field. The harness's acceptance invariant is zero.
+	Divergences int `json:"divergences"`
+	// FirstDivergence details the earliest divergence, if any.
+	FirstDivergence *Divergence `json:"first_divergence,omitempty"`
+	// Digest is the SHA-256 over the full served decision stream
+	// ((chip, tick, freq bits, raw bits) in lockstep order) — two runs
+	// served the same decisions iff their digests match.
+	Digest string `json:"digest"`
+	// AvgFreq / WorstSeverity / TotalIncursions aggregate the simulated
+	// consequence of the served decisions across the fleet, with the
+	// same semantics as engine.FleetResult.
+	AvgFreq         float64 `json:"avg_freq_ghz"`
+	WorstSeverity   float64 `json:"worst_severity"`
+	TotalIncursions int     `json:"total_incursions"`
+}
+
+// Divergence pinpoints one decision where the daemon and the in-process
+// oracle disagreed.
+type Divergence struct {
+	// Chip is the wire chip ID; ChipIndex its fleet index.
+	Chip      string `json:"chip"`
+	ChipIndex int    `json:"chip_index"`
+	// Tick is the decision index the disagreement occurred at.
+	Tick int `json:"tick"`
+	// Field names the first differing field (tick, freq_ghz, raw_ghz).
+	Field string `json:"field"`
+	// Served and Expected are the daemon's and the oracle's values.
+	Served   float64 `json:"served"`
+	Expected float64 `json:"expected"`
+}
+
+// TimingReport is the nondeterministic section: how fast the daemon
+// served the deterministic decision stream.
+type TimingReport struct {
+	// DurationSec is the measured wall-clock run time.
+	DurationSec float64 `json:"duration_sec"`
+	// Requests counts HTTP round trips; QPS is Requests/DurationSec.
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	// DecisionsPerSec is the served decision throughput (QPS * batch
+	// fill); PerDecisionMicros its inverse in microseconds.
+	DecisionsPerSec   float64 `json:"decisions_per_sec"`
+	PerDecisionMicros float64 `json:"per_decision_us"`
+	// Latency is the request round-trip percentile table from the merged
+	// per-dispatcher HDR histograms.
+	Latency obs.LatencySummary `json:"latency"`
+	// Batch, MaxInflight and TargetQPS echo the load shape; Batch is the
+	// resolved (defaulted) observations-per-request.
+	Batch       int     `json:"batch"`
+	MaxInflight int     `json:"max_inflight"`
+	TargetQPS   float64 `json:"target_qps"`
+	// InProcessServer records whether the run booted its own daemon.
+	InProcessServer bool `json:"in_process_server"`
+}
+
+// JSON renders the full report, indented, with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// JSON renders only the deterministic replay section — the bytes the
+// loadtest smoke compares across differently-concurrent runs.
+func (r *ReplayReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Render formats the report for a terminal: the replay verdict, the
+// throughput line, and the latency percentile table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	rp, tm := &r.Replay, &r.Timing
+	fmt.Fprintf(&b, "loadtest: %s / %s, %d chips x %d ticks, seed %d\n",
+		rp.Platform, rp.Controller, rp.Chips, rp.Ticks, rp.Seed)
+	target := "external daemon"
+	if tm.InProcessServer {
+		target = "in-process server"
+	}
+	fmt.Fprintf(&b, "target:   %s, batch %d, inflight %s, qps target %s\n",
+		target, tm.Batch, orUnbounded(tm.MaxInflight), orUnpaced(tm.TargetQPS))
+	fmt.Fprintf(&b, "replay:   %d decisions, digest %s\n", rp.Decisions, shortDigest(rp.Digest))
+	if rp.Divergences == 0 {
+		fmt.Fprintf(&b, "oracle:   0 divergences — served decisions are bit-identical to in-process sessions\n")
+	} else {
+		d := rp.FirstDivergence
+		fmt.Fprintf(&b, "oracle:   %d DIVERGENCES — first at %s tick %d field %s: served %v, expected %v\n",
+			rp.Divergences, d.Chip, d.Tick, d.Field, d.Served, d.Expected)
+	}
+	fmt.Fprintf(&b, "fleet:    avg freq %.4f GHz, worst severity %.4f, incursions %d\n",
+		rp.AvgFreq, rp.WorstSeverity, rp.TotalIncursions)
+	fmt.Fprintf(&b, "timing:   %.2fs wall, %d requests, %.0f req/s, %.0f decisions/s (%.1f us/decision)\n",
+		tm.DurationSec, tm.Requests, tm.QPS, tm.DecisionsPerSec, tm.PerDecisionMicros)
+	l := tm.Latency
+	fmt.Fprintf(&b, "latency:  %10s %10s %10s %10s %10s %10s\n", "mean", "p50", "p90", "p99", "p99.9", "max")
+	fmt.Fprintf(&b, "          %9.1fus %9.1fus %9.1fus %9.1fus %9.1fus %9.1fus\n",
+		l.MeanMicros, l.P50Micros, l.P90Micros, l.P99Micros, l.P999Micros, l.MaxMicros)
+	return b.String()
+}
+
+func orUnbounded(n int) string {
+	if n == 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func orUnpaced(qps float64) string {
+	if qps == 0 {
+		return "unpaced"
+	}
+	return fmt.Sprintf("%.0f", qps)
+}
+
+func shortDigest(d string) string {
+	if len(d) > 16 {
+		return d[:16] + "…"
+	}
+	return d
+}
+
+// replayDigest folds the served decision stream into one SHA-256: chip
+// index, tick and the exact float bits of both frequencies, in lockstep
+// order. Any reordering, dropped decision or bit flip changes the hex.
+type replayDigest struct {
+	h hash.Hash
+}
+
+func newReplayDigest() *replayDigest {
+	return &replayDigest{h: sha256.New()}
+}
+
+func (d *replayDigest) add(chipIdx int, dec serve.Decision) {
+	var buf [24]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(chipIdx))
+	binary.BigEndian.PutUint32(buf[4:], uint32(dec.Tick))
+	binary.BigEndian.PutUint64(buf[8:], math.Float64bits(dec.FreqGHz))
+	binary.BigEndian.PutUint64(buf[16:], math.Float64bits(dec.RawGHz))
+	d.h.Write(buf[:])
+}
+
+func (d *replayDigest) hex() string {
+	return hex.EncodeToString(d.h.Sum(nil))
+}

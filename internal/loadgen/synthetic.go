@@ -1,0 +1,29 @@
+package loadgen
+
+import (
+	"github.com/hotgauge/boreas/internal/control"
+	"github.com/hotgauge/boreas/internal/platform"
+)
+
+// SyntheticThermalController is the default template when a load test
+// runs without a trained model: a TH controller over a synthetic
+// thermal table whose threshold falls linearly with frequency (95 C at
+// the curve's bottom step down to 65 C at the top). The gradient makes
+// the controller actually move the operating point under simulated
+// telemetry — a load test against a fixed-frequency controller would
+// validate a constant stream, which proves nothing about the decision
+// path.
+func SyntheticThermalController(pf *platform.Platform) control.Controller {
+	steps := pf.VF.FrequencySteps()
+	table := &control.CriticalTemps{Global: make(map[float64]float64, len(steps))}
+	for i, f := range steps {
+		frac := 0.0
+		if len(steps) > 1 {
+			frac = float64(i) / float64(len(steps)-1)
+		}
+		table.Global[f] = 95 - 30*frac
+	}
+	ctrl := control.NewThermalController(table, 0)
+	ctrl.VF = pf.VF
+	return ctrl
+}
